@@ -1,0 +1,510 @@
+// Package repro_test is the benchmark harness that regenerates the paper's
+// evaluation under `go test -bench`. One benchmark family exists per table
+// and figure (Figure 5, Figure 6, Table 1, Table 2), plus ablations.
+//
+// Wall-clock ns/op measures the *simulator*; the paper's metrics are the
+// reported custom metrics:
+//
+//	slowdown-x    simulated slowdown vs native (Figures 5, Table 1)
+//	shared-pct    share of accesses on shared pages (Figure 6)
+//	reduction-x   instrumentation reduction (Table 2)
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crew"
+	"repro/internal/dbi"
+	"repro/internal/hypervisor"
+	"repro/internal/isa"
+	"repro/internal/memcheck"
+	"repro/internal/parsec"
+	"repro/internal/provider"
+	"repro/internal/spbags"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// benchScale keeps -bench runs quick while large enough to amortize
+// startup costs; cmd/aikido-bench runs the full-scale version.
+const benchScale = 0.5
+
+func runMode(b *testing.B, bench parsec.Benchmark, mode core.Mode) *core.Result {
+	b.Helper()
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res *core.Result
+	for i := 0; i < b.N; i++ {
+		res, err = core.Run(prog, core.DefaultConfig(mode))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return res
+}
+
+// BenchmarkFigure5 regenerates Figure 5: the slowdown of FastTrack and
+// Aikido-FastTrack over native execution for each PARSEC model.
+func BenchmarkFigure5(b *testing.B) {
+	for _, bench := range parsec.All() {
+		bench := bench.WithScale(benchScale)
+		prog, err := workload.Build(bench.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bench.Name+"/FastTrack", func(b *testing.B) {
+			res := runMode(b, bench, core.ModeFastTrackFull)
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+		b.Run(bench.Name+"/Aikido", func(b *testing.B) {
+			res := runMode(b, bench, core.ModeAikidoFastTrack)
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+	}
+}
+
+// BenchmarkFigure6 regenerates Figure 6: the percentage of memory accesses
+// that target shared pages.
+func BenchmarkFigure6(b *testing.B) {
+	for _, bench := range parsec.All() {
+		bench := bench.WithScale(benchScale)
+		b.Run(bench.Name, func(b *testing.B) {
+			res := runMode(b, bench, core.ModeAikidoFastTrack)
+			b.ReportMetric(100*res.SharedAccessFraction(), "shared-pct")
+			b.ReportMetric(100*bench.Paper.SharedFrac(), "paper-pct")
+		})
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: fluidanimate and vips at 2, 4 and 8
+// worker threads under both detectors.
+func BenchmarkTable1(b *testing.B) {
+	for _, name := range []string{"fluidanimate", "vips"} {
+		bench, err := parsec.ByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, threads := range []int{2, 4, 8} {
+			tb := bench.WithThreads(threads) // full scale: Table 1 needs amortization
+			prog, err := workload.Build(tb.Spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for mode, label := range map[core.Mode]string{
+				core.ModeFastTrackFull:   "FastTrack",
+				core.ModeAikidoFastTrack: "Aikido",
+			} {
+				mode, label := mode, label
+				b.Run(benchName(name, threads, label), func(b *testing.B) {
+					res := runMode(b, tb, mode)
+					b.ReportMetric(res.Slowdown(native), "slowdown-x")
+				})
+			}
+		}
+	}
+}
+
+func benchName(name string, threads int, mode string) string {
+	return name + "/t" + string(rune('0'+threads)) + "/" + mode
+}
+
+// BenchmarkTable2 regenerates Table 2: instrumentation statistics and the
+// per-benchmark reduction in instructions that need instrumentation.
+func BenchmarkTable2(b *testing.B) {
+	for _, bench := range parsec.All() {
+		bench := bench.WithScale(benchScale)
+		b.Run(bench.Name, func(b *testing.B) {
+			res := runMode(b, bench, core.ModeAikidoFastTrack)
+			if res.Engine.InstrumentedExecs > 0 {
+				b.ReportMetric(float64(res.Engine.MemRefs)/float64(res.Engine.InstrumentedExecs), "reduction-x")
+			}
+			b.ReportMetric(float64(res.HV.AikidoFaults), "segfaults")
+		})
+	}
+}
+
+// BenchmarkAblationMirror quantifies what mirror pages buy: Aikido with
+// mirror redirection vs the unprotect/reprotect strategy (§7.2 comparison).
+func BenchmarkAblationMirror(b *testing.B) {
+	bench, err := parsec.ByName("x264")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("mirror", func(b *testing.B) {
+		res := runMode(b, bench, core.ModeAikidoFastTrack)
+		b.ReportMetric(res.Slowdown(native), "slowdown-x")
+	})
+	b.Run("no-mirror", func(b *testing.B) {
+		var res *core.Result
+		for i := 0; i < b.N; i++ {
+			cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+			cfg.NoMirror = true
+			var err error
+			res, err = core.Run(prog, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.Slowdown(native), "slowdown-x")
+	})
+}
+
+// BenchmarkExtensionScaling measures the Aikido-vs-FastTrack ratio at 16
+// worker threads on the high-sharing model — the beyond-the-paper point
+// where mirror contention has fully reversed the advantage.
+func BenchmarkExtensionScaling(b *testing.B) {
+	bench, err := parsec.ByName("fluidanimate")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithThreads(16).WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("fluidanimate/t16/FastTrack", func(b *testing.B) {
+		res := runMode(b, bench, core.ModeFastTrackFull)
+		b.ReportMetric(res.Slowdown(native), "slowdown-x")
+	})
+	b.Run("fluidanimate/t16/Aikido", func(b *testing.B) {
+		res := runMode(b, bench, core.ModeAikidoFastTrack)
+		b.ReportMetric(res.Slowdown(native), "slowdown-x")
+	})
+}
+
+// BenchmarkAblationDBI measures the DynamoRIO-only floor under every model:
+// the overhead Aikido pays before any analysis runs.
+func BenchmarkAblationDBI(b *testing.B) {
+	for _, bench := range parsec.All() {
+		bench := bench.WithScale(benchScale)
+		prog, err := workload.Build(bench.Spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(bench.Name, func(b *testing.B) {
+			res := runMode(b, bench, core.ModeDBI)
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+	}
+}
+
+// BenchmarkAblationPaging compares AikidoVM's shadow-paging and
+// nested-paging modes (§3.2.2): the analysis results are identical; the
+// cost structure (PT-update traps vs two-dimensional walks) is not.
+func BenchmarkAblationPaging(b *testing.B) {
+	bench, err := parsec.ByName("vips")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, paging := range []hypervisor.PagingMode{hypervisor.ShadowPaging, hypervisor.NestedPaging} {
+		paging := paging
+		b.Run(paging.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+				cfg.Paging = paging
+				var err error
+				res, err = core.Run(prog, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+			b.ReportMetric(float64(res.HV.GuestPTUpdates), "pt-traps")
+		})
+	}
+}
+
+// BenchmarkAblationSwitch compares the three context-switch interception
+// mechanisms of §3.2.3 on the barrier-heavy streamcluster model.
+func BenchmarkAblationSwitch(b *testing.B) {
+	bench, err := parsec.ByName("streamcluster")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, sw := range []hypervisor.SwitchInterception{
+		hypervisor.SwitchHypercall, hypervisor.SwitchSegTrap, hypervisor.SwitchProbe,
+	} {
+		sw := sw
+		b.Run(sw.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+				cfg.Switch = sw
+				var err error
+				res, err = core.Run(prog, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+	}
+}
+
+// BenchmarkAblationProviders compares the per-thread protection providers
+// of §7.1 (AikidoVM hypervisor, dOS-style kernel, DTHREADS-style processes)
+// on the same workload.
+func BenchmarkAblationProviders(b *testing.B) {
+	bench, err := parsec.ByName("vips")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, kind := range []provider.Kind{provider.AikidoVM, provider.DOS, provider.Dthreads} {
+		kind := kind
+		b.Run(kind.String(), func(b *testing.B) {
+			var res *core.Result
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+				cfg.Provider = kind
+				var err error
+				res, err = core.Run(prog, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+	}
+}
+
+// BenchmarkExtensionNondeterminator measures the SP-bags determinacy check
+// (serial DFS execution + union-find bags) on a fork-join workload.
+func BenchmarkExtensionNondeterminator(b *testing.B) {
+	prog, err := workload.BuildForkJoin(workload.ForkJoinSpec{
+		Name: "fj-bench", Elems: 256, LeafSize: 16, RacyCounter: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("spbags", func(b *testing.B) {
+		var rep *spbags.Report
+		for i := 0; i < b.N; i++ {
+			var err error
+			rep, err = spbags.Check(prog)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(rep.Races)), "races")
+	})
+	b.Run("fasttrack", func(b *testing.B) {
+		var res *core.Result
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(res.Races)), "races")
+	})
+}
+
+// BenchmarkExtensionSTM measures the Abadi-style STM (§7.2) with strong
+// atomicity on vs off.
+func BenchmarkExtensionSTM(b *testing.B) {
+	rows := []struct {
+		label string
+		cfg   stm.Config
+	}{
+		{"strong", stm.Config{Strong: true}},
+		{"weak", stm.Config{Strong: false}},
+	}
+	for _, v := range rows {
+		v := v
+		b.Run(v.label, func(b *testing.B) {
+			var commits uint64
+			for i := 0; i < b.N; i++ {
+				prog, err := stmBenchProgram()
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := stm.New(prog, v.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				commits = res.C.Commits
+			}
+			b.ReportMetric(float64(commits), "commits")
+		})
+	}
+}
+
+// stmBenchProgram is a small transactional counter workload.
+func stmBenchProgram() (*isa.Program, error) {
+	bld := isa.NewBuilder("stm-bench")
+	x := bld.Global(4096, 4096)
+	tids := bld.GlobalArray(3)
+	for w := 0; w < 3; w++ {
+		bld.MovImm(isa.R7, int64(w))
+		bld.ThreadCreate("worker", isa.R7)
+		bld.StoreAbs(tids+uint64(8*w), isa.R0)
+	}
+	for w := 0; w < 3; w++ {
+		bld.LoadAbs(isa.R5, tids+uint64(8*w))
+		bld.ThreadJoin(isa.R5)
+	}
+	bld.MovImm(isa.R0, 0)
+	bld.Syscall(isa.SysExit)
+	bld.Label("worker")
+	bld.MovImm(isa.R4, int64(x))
+	bld.LoopN(isa.R2, 100, func(bld *isa.Builder) {
+		bld.Label(".retry")
+		bld.TxBegin()
+		bld.Load(isa.R5, isa.R4, 0)
+		bld.AddImm(isa.R5, isa.R5, 1)
+		bld.Store(isa.R4, 0, isa.R5)
+		bld.TxEnd()
+		bld.BrImm(isa.EQ, isa.R0, 0, ".retry")
+	})
+	bld.Halt()
+	return bld.Finish()
+}
+
+// BenchmarkExtensionCREW measures CREW recording and replay (§7.1). The
+// workload keeps all nondeterminism in memory (no locks): CREW logs memory
+// ownership transitions, and kernel-side lock handoffs are outside the
+// protocol (SMP-ReVirt replays a whole machine, where lock state is also
+// just memory).
+func BenchmarkExtensionCREW(b *testing.B) {
+	prog, err := crewBenchProgram()
+	if err != nil {
+		b.Fatal(err)
+	}
+	recCfg := dbi.DefaultConfig()
+	b.Run("record", func(b *testing.B) {
+		var log *crew.Log
+		for i := 0; i < b.N; i++ {
+			var err error
+			_, log, err = crew.Record(prog, recCfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(len(log.Transitions)), "transitions")
+	})
+	b.Run("replay", func(b *testing.B) {
+		_, log, err := crew.Record(prog, recCfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		repCfg := dbi.DefaultConfig()
+		repCfg.Quantum = 77
+		for i := 0; i < b.N; i++ {
+			if _, _, err := crew.Replay(prog, log, repCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMemcheck measures the Umbra-hosted memory checker — the
+// conservative every-access shadow tool whose cost class Figure 5's
+// FastTrack bars represent.
+func BenchmarkMemcheck(b *testing.B) {
+	bench, err := parsec.ByName("blackscholes")
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench = bench.WithScale(benchScale)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, err := memcheck.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// crewBenchProgram is an unsynchronized racy-counter workload (memory-only
+// nondeterminism, replayable by CREW).
+func crewBenchProgram() (*isa.Program, error) {
+	bld := isa.NewBuilder("crew-bench")
+	counter := bld.GlobalU64(0)
+	tids := bld.GlobalArray(4)
+	for w := 0; w < 4; w++ {
+		bld.MovImm(isa.R4, int64(w))
+		bld.ThreadCreate("worker", isa.R4)
+		bld.StoreAbs(tids+uint64(8*w), isa.R0)
+	}
+	for w := 0; w < 4; w++ {
+		bld.LoadAbs(isa.R5, tids+uint64(8*w))
+		bld.ThreadJoin(isa.R5)
+	}
+	bld.MovImm(isa.R0, 0)
+	bld.Syscall(isa.SysExit)
+	bld.Label("worker")
+	bld.LoopN(isa.R2, 200, func(bld *isa.Builder) {
+		bld.LoadAbs(isa.R6, counter)
+		bld.Add(isa.R7, isa.R7, isa.R2)
+		bld.AddImm(isa.R6, isa.R6, 1)
+		bld.StoreAbs(counter, isa.R6)
+	})
+	bld.Halt()
+	return bld.Finish()
+}

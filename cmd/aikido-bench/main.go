@@ -1,0 +1,146 @@
+// Command aikido-bench regenerates the paper's evaluation — Figure 5,
+// Figure 6, Table 1, Table 2 — plus the ablation studies (mirror pages,
+// paging modes, context-switch interception, protection providers) and the
+// extension experiments (detector comparison, thread scaling,
+// Nondeterminator vs FastTrack, STM strong atomicity, CREW record/replay).
+//
+// Usage:
+//
+//	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
+//	              switch|providers|detectors|scaling|nondet|stm|crew]
+//	             [-scale F] [-threads N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, scaling, nondet, stm, crew")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
+	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
+	flag.Parse()
+
+	o := experiments.Options{Scale: *scale, Threads: *threads}
+	w := os.Stdout
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
+	}
+
+	run("fig5", func() error {
+		rows, err := experiments.Figure5(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFigure5(w, rows)
+		return nil
+	})
+	run("fig6", func() error {
+		rows, err := experiments.Figure6(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteFigure6(w, rows)
+		return nil
+	})
+	run("table1", func() error {
+		cells, err := experiments.Table1(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable1(w, cells)
+		return nil
+	})
+	run("table2", func() error {
+		rows, red, err := experiments.Table2(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteTable2(w, rows, red)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := experiments.Ablations(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblations(w, rows)
+		return nil
+	})
+	run("paging", func() error {
+		rows, err := experiments.AblationPaging(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblationPaging(w, rows)
+		return nil
+	})
+	run("switch", func() error {
+		rows, err := experiments.AblationSwitch(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblationSwitch(w, rows)
+		return nil
+	})
+	run("providers", func() error {
+		rows, err := experiments.AblationProviders(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteAblationProviders(w, rows)
+		return nil
+	})
+	run("detectors", func() error {
+		rows, err := experiments.ExtensionDetectors(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteExtensionDetectors(w, rows)
+		return nil
+	})
+	run("scaling", func() error {
+		pts, err := experiments.ExtensionScaling(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteExtensionScaling(w, pts)
+		return nil
+	})
+	run("nondet", func() error {
+		rows, err := experiments.ExtensionNondeterminator(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteExtensionNondeterminator(w, rows)
+		return nil
+	})
+	run("stm", func() error {
+		rows, err := experiments.ExtensionSTM(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteExtensionSTM(w, rows)
+		return nil
+	})
+	run("crew", func() error {
+		rows, err := experiments.ExtensionCREW(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteExtensionCREW(w, rows)
+		return nil
+	})
+}

@@ -1,0 +1,188 @@
+// Command aikido-run executes one PARSEC benchmark model under a chosen
+// detector configuration and prints the run's statistics and race reports.
+//
+// Usage:
+//
+//	aikido-run [-bench NAME] [-mode native|dbi|fasttrack|aikido|profile]
+//	           [-analysis fasttrack|lockset|sampled|atomicity|commgraph]
+//	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
+//	           [-switch hypercall|segtrap|probe]
+//	           [-threads N] [-scale F] [-races] [-list]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hypervisor"
+	"repro/internal/parsec"
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+func main() {
+	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list)")
+	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
+	analysis := flag.String("analysis", "fasttrack", "fasttrack, lockset, sampled, atomicity, commgraph")
+	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
+	paging := flag.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
+	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
+	threads := flag.Int("threads", 0, "worker threads (0 = benchmark default)")
+	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	races := flag.Bool("races", false, "print every detected race/violation")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, n := range parsec.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	m, ok := map[string]core.Mode{
+		"native":    core.ModeNative,
+		"dbi":       core.ModeDBI,
+		"fasttrack": core.ModeFastTrackFull,
+		"aikido":    core.ModeAikidoFastTrack,
+		"profile":   core.ModeAikidoProfile,
+	}[*mode]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aikido-run: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	an, ok := map[string]core.AnalysisKind{
+		"fasttrack": core.AnalysisFastTrack,
+		"lockset":   core.AnalysisLockSet,
+		"sampled":   core.AnalysisSampledFastTrack,
+		"atomicity": core.AnalysisAtomicity,
+		"commgraph": core.AnalysisCommGraph,
+	}[*analysis]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aikido-run: unknown analysis %q\n", *analysis)
+		os.Exit(2)
+	}
+	pk, ok := map[string]provider.Kind{
+		"aikidovm": provider.AikidoVM,
+		"dos":      provider.DOS,
+		"dthreads": provider.Dthreads,
+	}[*prov]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aikido-run: unknown provider %q\n", *prov)
+		os.Exit(2)
+	}
+	pg, ok := map[string]hypervisor.PagingMode{
+		"shadow": hypervisor.ShadowPaging,
+		"nested": hypervisor.NestedPaging,
+	}[*paging]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aikido-run: unknown paging mode %q\n", *paging)
+		os.Exit(2)
+	}
+	sw, ok := map[string]hypervisor.SwitchInterception{
+		"hypercall": hypervisor.SwitchHypercall,
+		"segtrap":   hypervisor.SwitchSegTrap,
+		"probe":     hypervisor.SwitchProbe,
+	}[*swi]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "aikido-run: unknown switch mechanism %q\n", *swi)
+		os.Exit(2)
+	}
+
+	b, err := parsec.ByName(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		os.Exit(2)
+	}
+	b = b.WithScale(*scale)
+	if *threads > 0 {
+		b = b.WithThreads(*threads)
+	}
+	prog, err := workload.Build(b.Spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := core.DefaultConfig(m)
+	cfg.Analysis = an
+	cfg.Provider = pk
+	cfg.Paging = pg
+	cfg.Switch = sw
+	res, err := core.Run(prog, cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("benchmark        %s (%d worker threads, scale %.2f)\n", b.Name, b.Spec.Threads, *scale)
+	fmt.Printf("mode             %s\n", res.Mode)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("instructions     %d\n", res.Engine.Instructions)
+	fmt.Printf("memory refs      %d\n", res.Engine.MemRefs)
+	fmt.Printf("instrumented     %d\n", res.Engine.InstrumentedExecs)
+	fmt.Printf("context switches %d\n", res.GuestContextSwitches)
+	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
+		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)
+		fmt.Printf("shared accesses  %d (%.2f%% of memory refs)\n",
+			res.SD.SharedPageAccesses, 100*res.SharedAccessFraction())
+		fmt.Printf("pages private    %d\n", res.SD.PagesPrivate)
+		fmt.Printf("pages shared     %d\n", res.SD.PagesShared)
+		fmt.Printf("prot ops         %d (+%d ranged)\n", res.Prov.ProtOps, res.Prov.RangeOps)
+		fmt.Printf("provider faults  %d\n", res.Prov.Faults)
+		if pk == provider.AikidoVM {
+			fmt.Printf("aikido faults    %d\n", res.HV.AikidoFaults)
+			fmt.Printf("hypercalls       %d\n", res.HV.Hypercalls)
+		}
+		fmt.Printf("instrumented PCs %d\n", res.SD.InstrumentedPCs)
+	}
+	if an == core.AnalysisCommGraph && res.CG.Communications > 0 {
+		fmt.Printf("communications   %d over %d shared variables\n",
+			res.CG.Communications, res.CG.Variables)
+		for i, e := range res.CommEdges {
+			if i >= 8 {
+				fmt.Printf("  … %d more edges\n", len(res.CommEdges)-8)
+				break
+			}
+			fmt.Printf("  %v weight %d\n", e.Edge, e.Weight)
+		}
+	}
+	if m == core.ModeAikidoFastTrack || m == core.ModeFastTrackFull {
+		switch an {
+		case core.AnalysisLockSet:
+			fmt.Printf("analysis         lockset: reads=%d writes=%d refinements=%d\n",
+				res.LS.Reads, res.LS.Writes, res.LS.Refinements)
+			fmt.Printf("violations       %d\n", len(res.Warnings))
+			if *races {
+				for _, w := range res.Warnings {
+					fmt.Printf("  %v\n", w)
+				}
+			}
+		case core.AnalysisAtomicity:
+			fmt.Printf("analysis         atomicity: reads=%d writes=%d regions=%d\n",
+				res.Atom.Reads, res.Atom.Writes, res.Atom.Regions)
+			fmt.Printf("violations       %d\n", len(res.Violations))
+			if *races {
+				for _, w := range res.Violations {
+					fmt.Printf("  %v\n", w)
+				}
+			}
+		default:
+			fmt.Printf("analysis         reads=%d writes=%d same-epoch=%d slow=%d sync=%d\n",
+				res.FT.Reads, res.FT.Writes, res.FT.SameEpoch, res.FT.SlowPath, res.FT.SyncOps)
+			if an == core.AnalysisSampledFastTrack {
+				fmt.Printf("sampling         %d of %d accesses (%.2f%%)\n",
+					res.Sampling.Sampled, res.Sampling.Seen,
+					100*float64(res.Sampling.Sampled)/float64(res.Sampling.Seen))
+			}
+			fmt.Printf("races            %d\n", len(res.Races))
+			if *races {
+				for _, r := range res.Races {
+					fmt.Printf("  %v\n", r)
+				}
+			}
+		}
+	}
+}

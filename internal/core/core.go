@@ -1,0 +1,471 @@
+// Package core assembles the complete Aikido system (paper Figure 1): the
+// AikidoVM hypervisor at the bottom, the guest process above it, the
+// DynamoRIO-model DBI engine with the AikidoSD sharing detector as its
+// tool, Umbra shadow memory, mirror pages, and a pluggable shared-data
+// analysis (FastTrack by default).
+//
+// The same entry point runs the paper's comparison configurations:
+//
+//   - ModeNative: plain execution, no DBI, no analysis — the normalization
+//     baseline of Figure 5;
+//   - ModeDBI: DynamoRIO-only overhead (no tool);
+//   - ModeFastTrackFull: FastTrack instrumenting every memory access (the
+//     paper's "FastTrack" bars);
+//   - ModeAikidoFastTrack: the full Aikido stack (the "Aikido-FastTrack"
+//     bars);
+//   - ModeAikidoProfile: AikidoSD alone as a sharing profiler (no
+//     analysis), demonstrating that Aikido hosts other shared-data
+//     analyses.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/atomicity"
+	"repro/internal/commgraph"
+	"repro/internal/dbi"
+	"repro/internal/fasttrack"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/isa"
+	"repro/internal/lockset"
+	"repro/internal/mirror"
+	"repro/internal/pagetable"
+	"repro/internal/provider"
+	"repro/internal/sampler"
+	"repro/internal/sharing"
+	"repro/internal/stats"
+	"repro/internal/umbra"
+	"repro/internal/vm"
+)
+
+// Mode selects the system configuration.
+type Mode uint8
+
+// Modes.
+const (
+	ModeNative Mode = iota
+	ModeDBI
+	ModeFastTrackFull
+	ModeAikidoFastTrack
+	ModeAikidoProfile
+)
+
+// String names the mode as in the paper's figures.
+func (m Mode) String() string {
+	switch m {
+	case ModeNative:
+		return "native"
+	case ModeDBI:
+		return "dbi"
+	case ModeFastTrackFull:
+		return "FastTrack"
+	case ModeAikidoFastTrack:
+		return "Aikido-FastTrack"
+	case ModeAikidoProfile:
+		return "Aikido-profile"
+	}
+	return "mode?"
+}
+
+// AnalysisKind selects the shared-data analysis plugged into the framework.
+type AnalysisKind uint8
+
+// Analyses.
+const (
+	// AnalysisFastTrack is the happens-before race detector of §4.
+	AnalysisFastTrack AnalysisKind = iota
+	// AnalysisLockSet is the Eraser locking-discipline checker (§7.3),
+	// demonstrating that Aikido hosts analyses other than FastTrack.
+	AnalysisLockSet
+	// AnalysisSampledFastTrack is the LiteRace-style sampling baseline
+	// (§1, §7.3): fast, but trades false negatives for speed — the
+	// trade-off Aikido exists to avoid.
+	AnalysisSampledFastTrack
+	// AnalysisAtomicity is the AVIO-style atomicity-violation checker
+	// (reference [26]), the other class of shared-data analyses the
+	// paper's introduction motivates.
+	AnalysisAtomicity
+	// AnalysisCommGraph is the thread-communication-graph profiler — a
+	// pure sharing-structure analysis for which Aikido's filtering is
+	// lossless (private accesses carry no communication).
+	AnalysisCommGraph
+)
+
+// analysis is the seam every pluggable shared-data analysis implements:
+// access events (full or shared-only) plus the guest synchronization hooks.
+type analysis interface {
+	sharing.Analysis
+	OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
+	OnAcquire(tid guest.TID, lock int64)
+	OnRelease(tid guest.TID, lock int64)
+	OnFork(parent, child guest.TID)
+	OnJoin(joiner, child guest.TID)
+	OnBarrierWait(tid guest.TID, id int64)
+	OnBarrierRelease(tid guest.TID, id int64)
+	AddThread(delta int)
+}
+
+// Config parameterizes a System.
+type Config struct {
+	Mode     Mode
+	Analysis AnalysisKind
+	Costs    stats.CostModel
+	Engine   dbi.Config
+
+	// Paging selects AikidoVM's memory-virtualization strategy (§3.2.2):
+	// shadow paging (the paper's prototype, the default) or nested paging
+	// (the paper's "generally applicable" claim, with per-thread EPT
+	// permission views and the mirror-alias registration it requires).
+	Paging hypervisor.PagingMode
+	// Switch selects how AikidoVM intercepts guest context switches
+	// (§3.2.3): kernel hypercall (default), FS/GS-write trap, or
+	// trampoline probe.
+	Switch hypervisor.SwitchInterception
+	// Provider selects the per-thread page-protection mechanism (§7.1):
+	// the AikidoVM hypervisor (default), the dOS-style modified kernel,
+	// or the DTHREADS-style processes-as-threads runtime. The analysis
+	// results are identical across providers; the costs and transparency
+	// are not.
+	Provider provider.Kind
+
+	// MaxRaces caps stored race reports (0 = detector default).
+	MaxRaces int
+
+	// NoMirror is an ablation: instead of redirecting shared accesses to
+	// mirror pages, AikidoSD unprotects the page around every shared
+	// access and reprotects it afterwards (the strategy mirror pages
+	// exist to avoid; §3.3.2 and the Abadi et al. comparison in §7.2).
+	NoMirror bool
+}
+
+// DefaultConfig returns the standard configuration for a mode.
+func DefaultConfig(m Mode) Config {
+	return Config{Mode: m, Costs: stats.DefaultCosts(), Engine: dbi.DefaultConfig()}
+}
+
+// System is one assembled simulation.
+type System struct {
+	Cfg     Config
+	Machine *vm.Machine
+	Process *guest.Process
+	Clock   *stats.Clock
+	Engine  *dbi.Engine
+
+	HV      *hypervisor.Hypervisor // nil unless Aikido mode with the AikidoVM provider
+	Prov    provider.Interface     // nil unless Aikido mode
+	Um      *umbra.Umbra           // nil in native/dbi modes
+	Mir     *mirror.Manager        // nil unless Aikido mode
+	SD      *sharing.Detector      // nil unless Aikido mode
+	FT      *fasttrack.Detector    // nil unless a FastTrack-based analysis runs
+	LS      *lockset.Detector      // nil unless the LockSet analysis runs
+	Sampler *sampler.Detector      // nil unless the sampling analysis runs
+	Atom    *atomicity.Detector    // nil unless the atomicity analysis runs
+	CG      *commgraph.Analysis    // nil unless the communication-graph analysis runs
+
+	an analysis // the active analysis (nil in native/dbi/profile modes)
+}
+
+// newAnalysis instantiates the configured analysis.
+func (s *System) newAnalysis() analysis {
+	switch s.Cfg.Analysis {
+	case AnalysisLockSet:
+		s.LS = lockset.New(s.Clock, s.Cfg.Costs)
+		return s.LS
+	case AnalysisSampledFastTrack:
+		s.Sampler = sampler.New(s.Clock, s.Cfg.Costs, sampler.DefaultConfig())
+		s.FT = s.Sampler.FT
+		return s.Sampler
+	case AnalysisAtomicity:
+		s.Atom = atomicity.New(s.Clock, s.Cfg.Costs)
+		return s.Atom
+	case AnalysisCommGraph:
+		s.CG = commgraph.New(s.Clock, s.Cfg.Costs)
+		return s.CG
+	default:
+		s.FT = fasttrack.New(s.Clock, s.Cfg.Costs)
+		return s.FT
+	}
+}
+
+// NewSystem loads prog and assembles the configured stack.
+func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
+	m := vm.NewMachine()
+	p, err := guest.NewProcess(m, prog)
+	if err != nil {
+		return nil, err
+	}
+	clock := &stats.Clock{}
+	s := &System{Cfg: cfg, Machine: m, Process: p, Clock: clock}
+
+	switch cfg.Mode {
+	case ModeNative:
+		ecfg := cfg.Engine
+		ecfg.ChargeDBI = false
+		s.Engine = dbi.New(p, nil, nil, clock, cfg.Costs, ecfg)
+
+	case ModeDBI:
+		s.Engine = dbi.New(p, nil, nil, clock, cfg.Costs, cfg.Engine)
+
+	case ModeFastTrackFull:
+		s.Um = umbra.Attach(p, clock, cfg.Costs)
+		s.an = s.newAnalysis()
+		tool := &fullTool{um: s.Um, an: s.an}
+		s.Engine = dbi.New(p, nil, tool, clock, cfg.Costs, cfg.Engine)
+
+	case ModeAikidoFastTrack, ModeAikidoProfile:
+		switch cfg.Provider {
+		case provider.DOS:
+			s.Prov = provider.NewDOS(p, clock, cfg.Costs)
+		case provider.Dthreads:
+			s.Prov = provider.NewDthreads(p, clock, cfg.Costs)
+		default:
+			if cfg.Paging == hypervisor.NestedPaging {
+				s.HV = hypervisor.NewNested(m, p.PT)
+			} else {
+				s.HV = hypervisor.New(m, p.PT)
+			}
+			s.HV.SetSwitchInterception(cfg.Switch)
+			s.Prov = provider.NewAikidoVM(p, s.HV, clock, cfg.Costs)
+		}
+		p.SetBus(&kernelBus{prov: s.Prov})
+		s.Um = umbra.Attach(p, clock, cfg.Costs)
+		s.Mir = mirror.Attach(p)
+		var client sharing.Analysis
+		if cfg.Mode == ModeAikidoFastTrack {
+			s.an = s.newAnalysis()
+			client = s.an
+		}
+		s.SD = sharing.Attach(p, s.Prov, s.Um, s.Mir, client, clock, cfg.Costs)
+		if cfg.NoMirror {
+			s.SD.DisableMirror()
+		}
+		s.Engine = dbi.New(p, s.Prov, s.SD, clock, cfg.Costs, cfg.Engine)
+		s.SD.SetEngine(s.Engine)
+		s.Engine.OnFault = s.SD.HandleFault
+		s.Engine.RuntimeTouch = s.SD.TouchCode
+
+	default:
+		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
+	}
+
+	if s.FT != nil && cfg.MaxRaces > 0 {
+		s.FT.MaxRaces = cfg.MaxRaces
+	}
+	s.wireHooks()
+	return s, nil
+}
+
+// wireHooks connects guest events to the hypervisor (context switches) and
+// the analysis (synchronization happens-before edges), charging their costs.
+func (s *System) wireHooks() {
+	p := s.Process
+	costs := s.Cfg.Costs
+	clock := s.Clock
+
+	p.Hooks.ContextSwitch = func(old, new guest.TID) {
+		clock.Charge(costs.ContextSwitch)
+		if s.Prov != nil {
+			// The provider charges its own switch cost on top of the
+			// guest's: the hypervisor's interception VM exit plus
+			// translation-view switch (§3.2.3), the dOS root write, or
+			// the DTHREADS process switch.
+			s.Prov.ContextSwitch(old, new)
+		}
+	}
+	// Live-thread tracking feeds the contention model of both the
+	// analysis (metadata lines) and the mirror redirect path. The main
+	// thread already exists (its ThreadStarted fired inside NewProcess,
+	// before these hooks were installed), so the count starts at 1.
+	live := 1
+	an := s.an
+	if an != nil {
+		an.AddThread(1) // the main thread, for the same reason
+	}
+	p.Hooks.ThreadStarted = func(t *guest.Thread, creator guest.TID) {
+		live++
+		if s.Prov != nil {
+			s.Prov.ThreadStarted(t.ID, creator)
+		}
+		if an != nil {
+			an.AddThread(1)
+			if creator != guest.NoTID {
+				an.OnFork(creator, t.ID)
+			}
+		}
+	}
+	p.Hooks.ThreadExited = func(t *guest.Thread) {
+		live--
+		if s.Prov != nil {
+			s.Prov.ThreadExited(t.ID)
+		}
+		if an != nil {
+			an.AddThread(-1)
+		}
+	}
+	if s.Prov != nil {
+		p.Hooks.Syscall = func(t *guest.Thread, num int64) {
+			s.Prov.OnSyscall(t.ID, num)
+		}
+	}
+	if s.SD != nil {
+		s.SD.SetLiveThreads(func() int { return live })
+	}
+	if an != nil {
+		p.Hooks.LockAcquired = func(t *guest.Thread, l int64) { an.OnAcquire(t.ID, l) }
+		p.Hooks.LockReleased = func(t *guest.Thread, l int64) { an.OnRelease(t.ID, l) }
+		p.Hooks.ThreadJoined = func(joiner guest.TID, child *guest.Thread) {
+			an.OnJoin(joiner, child.ID)
+		}
+		p.Hooks.BarrierWait = func(t *guest.Thread, id int64) { an.OnBarrierWait(t.ID, id) }
+		p.Hooks.BarrierRelease = func(t *guest.Thread, id int64) { an.OnBarrierRelease(t.ID, id) }
+	}
+}
+
+// fullTool is the conservative baseline: analysis instrumentation on every
+// memory access (the paper's "FastTrack" configuration when the analysis is
+// FastTrack), with Umbra providing the metadata translation.
+type fullTool struct {
+	um *umbra.Umbra
+	an analysis
+}
+
+// Instrument implements dbi.Tool.
+func (f *fullTool) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		f.um.Translate(tid, addr) // metadata mapping, charges cycles
+		f.an.OnAccess(tid, pc, addr, size, write)
+		return addr
+	}}
+}
+
+// kernelBus adapts the protection provider to the guest kernel's memory
+// path. The provider resolves kernel accesses to protected pages its own
+// way — AikidoVM emulates the access (§3.2.6), the dOS kernel checks its
+// ownership table, the DTHREADS shim unprotects around it — and charges the
+// cost internally.
+type kernelBus struct {
+	prov provider.Interface
+}
+
+func (b *kernelBus) Load(tid guest.TID, addr uint64, size uint8, user bool) (uint64, *pagetable.Fault) {
+	v, fault := b.prov.Load(tid, addr, size, user)
+	if fault != nil {
+		return 0, &pagetable.Fault{Addr: fault.Addr, Access: fault.Access, Unmapped: fault.Unmapped}
+	}
+	return v, nil
+}
+
+func (b *kernelBus) Store(tid guest.TID, addr uint64, size uint8, val uint64, user bool) *pagetable.Fault {
+	fault := b.prov.Store(tid, addr, size, val, user)
+	if fault != nil {
+		return &pagetable.Fault{Addr: fault.Addr, Access: fault.Access, Unmapped: fault.Unmapped}
+	}
+	return nil
+}
+
+// Result is the outcome of one run with every layer's statistics.
+type Result struct {
+	Mode     Mode
+	Cycles   uint64
+	ExitCode int64
+	Console  string
+
+	Engine dbi.Counters
+	HV     hypervisor.Stats
+	Prov   provider.Stats
+	Umbra  umbra.Stats
+	SD     sharing.Counters
+	FT     fasttrack.Counters
+	Races  []fasttrack.Race
+
+	// LockSet results (when the LockSet analysis is selected).
+	LS       lockset.Counters
+	Warnings []lockset.Warning
+	// Sampling counters (when the sampling analysis is selected).
+	Sampling sampler.Counters
+	// Atomicity results (when the atomicity analysis is selected).
+	Atom       atomicity.Counters
+	Violations []atomicity.Violation
+	// Communication-graph results (when that analysis is selected).
+	CG        commgraph.Counters
+	CommEdges []commgraph.WeightedEdge
+
+	GuestContextSwitches uint64
+	GuestSyscalls        uint64
+}
+
+// Run executes the assembled system to completion.
+func (s *System) Run() (*Result, error) {
+	eres, err := s.Engine.Run()
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Mode:                 s.Cfg.Mode,
+		Cycles:               eres.Cycles,
+		ExitCode:             eres.ExitCode,
+		Console:              eres.Console,
+		Engine:               eres.Counters,
+		GuestContextSwitches: s.Process.ContextSwitches,
+		GuestSyscalls:        s.Process.SyscallCount,
+	}
+	if s.HV != nil {
+		r.HV = s.HV.Stats
+	}
+	if s.Prov != nil {
+		r.Prov = s.Prov.Overhead()
+	}
+	if s.Um != nil {
+		r.Umbra = s.Um.Stats
+	}
+	if s.SD != nil {
+		r.SD = s.SD.C
+	}
+	if s.FT != nil {
+		r.FT = s.FT.C
+		r.Races = s.FT.Races()
+	}
+	if s.LS != nil {
+		r.LS = s.LS.C
+		r.Warnings = s.LS.Warnings()
+	}
+	if s.Sampler != nil {
+		r.Sampling = s.Sampler.C
+	}
+	if s.Atom != nil {
+		r.Atom = s.Atom.C
+		r.Violations = s.Atom.Violations()
+	}
+	if s.CG != nil {
+		r.CG = s.CG.C
+		r.CommEdges = s.CG.Edges()
+	}
+	return r, nil
+}
+
+// Run is the one-shot convenience: assemble and execute prog under cfg.
+func Run(prog *isa.Program, cfg Config) (*Result, error) {
+	s, err := NewSystem(prog, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// SharedAccessFraction is Figure 6's metric: the fraction of all memory-
+// referencing instruction executions that targeted shared pages.
+func (r *Result) SharedAccessFraction() float64 {
+	if r.Engine.MemRefs == 0 {
+		return 0
+	}
+	return float64(r.SD.SharedPageAccesses) / float64(r.Engine.MemRefs)
+}
+
+// Slowdown computes r's slowdown relative to a baseline (native) run.
+func (r *Result) Slowdown(native *Result) float64 {
+	return stats.Ratio(r.Cycles, native.Cycles)
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/provider"
+	"repro/internal/workload"
+)
+
+// TestProvidersAgree runs one workload under all three per-thread
+// protection providers (§7.1) and requires identical analysis results:
+// the provider is a mechanism choice, invisible to AikidoSD and FastTrack.
+func TestProvidersAgree(t *testing.T) {
+	prog, err := workload.Build(pagingSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(kind provider.Kind) *Result {
+		cfg := DefaultConfig(ModeAikidoFastTrack)
+		cfg.Provider = kind
+		r, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	vm := run(provider.AikidoVM)
+	dos := run(provider.DOS)
+	procs := run(provider.Dthreads)
+
+	for _, tc := range []struct {
+		name string
+		r    *Result
+	}{{"dos", dos}, {"dthreads", procs}} {
+		if tc.r.SD != vm.SD {
+			t.Errorf("%s sharing counters diverge:\n%+v\nvs aikidovm:\n%+v", tc.name, tc.r.SD, vm.SD)
+		}
+		if len(tc.r.Races) != len(vm.Races) {
+			t.Errorf("%s races = %d, aikidovm = %d", tc.name, len(tc.r.Races), len(vm.Races))
+		}
+		if tc.r.FT != vm.FT {
+			t.Errorf("%s FastTrack work diverges", tc.name)
+		}
+		if tc.r.Console != vm.Console || tc.r.ExitCode != vm.ExitCode {
+			t.Errorf("%s guest-visible behaviour diverges", tc.name)
+		}
+		if tc.r.Engine.MemRefs != vm.Engine.MemRefs {
+			t.Errorf("%s retired mem refs = %d, aikidovm = %d",
+				tc.name, tc.r.Engine.MemRefs, vm.Engine.MemRefs)
+		}
+	}
+}
+
+// TestProviderOverheadsDiffer: the providers must also *disagree* — on cost
+// structure. The DTHREADS fork tax must show at thread creation, and the
+// provider stats must be populated.
+func TestProviderOverheadsDiffer(t *testing.T) {
+	prog, err := workload.Build(pagingSpec(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycles := map[provider.Kind]uint64{}
+	for _, kind := range []provider.Kind{provider.AikidoVM, provider.DOS, provider.Dthreads} {
+		cfg := DefaultConfig(ModeAikidoFastTrack)
+		cfg.Provider = kind
+		r, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[kind] = r.Cycles
+		if r.Prov.ProtOps == 0 || r.Prov.RangeOps == 0 {
+			t.Errorf("%v: protection ops not counted: %+v", kind, r.Prov)
+		}
+		if r.Prov.ThreadSetups == 0 {
+			t.Errorf("%v: thread setups not counted", kind)
+		}
+		if r.Prov.Faults == 0 {
+			t.Errorf("%v: provider faults not counted", kind)
+		}
+	}
+	if cycles[provider.AikidoVM] == cycles[provider.DOS] ||
+		cycles[provider.DOS] == cycles[provider.Dthreads] {
+		t.Errorf("providers cost identically — the ablation would be vacuous: %v", cycles)
+	}
+	// The hypervisor pays for transparency: dOS (a patched kernel doing
+	// the same thing natively) must be cheaper on this workload.
+	if cycles[provider.DOS] >= cycles[provider.AikidoVM] {
+		t.Errorf("dOS (%d cycles) should undercut AikidoVM (%d cycles)",
+			cycles[provider.DOS], cycles[provider.AikidoVM])
+	}
+}

@@ -1,0 +1,156 @@
+// Package crew implements page-granularity CREW (concurrent-read,
+// exclusive-write) record/replay in the style of SMP-ReVirt (paper §7.1,
+// ref [15]; the CREW protocol itself is from Instant Replay, ref [23]).
+//
+// SMP-ReVirt uses per-processor private page mappings inside a modified Xen
+// to track page-ownership transitions: while a page is in concurrent-read
+// mode any CPU may read it; a write requires exclusive ownership. Logging
+// the order of ownership transitions (with per-CPU progress marks) is
+// enough to replay the execution, because pages only change content under
+// exclusive ownership.
+//
+// Here each guest thread stands in for a virtual CPU. Recording instruments
+// every memory access, maintains the per-page CREW state and logs every
+// transition together with each thread's retired-instruction count. Replay
+// re-runs the program — under a deliberately different schedule if desired
+// — and gates each access (dbi.Plan.Gate) so ownership transitions are
+// granted in exactly the logged order; conflicting accesses therefore
+// interleave exactly as recorded and the execution reproduces the recorded
+// run, racy lost updates and all.
+//
+// Scope: the log covers guest *memory*. Kernel-object state that never
+// lives in guest pages (futex queues, barrier arrival order) is outside the
+// protocol — SMP-ReVirt replays a whole machine, where such state is also
+// just memory. Workloads replayed here must keep their nondeterminism in
+// memory (unsynchronized accesses, join-only ordering), which is exactly
+// the interesting case.
+package crew
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/vm"
+)
+
+// Mode is the CREW state of a page.
+type Mode uint8
+
+// CREW modes.
+const (
+	// Unowned: no thread has accessed the page yet.
+	Unowned Mode = iota
+	// SharedRead: any number of registered readers, no writer.
+	SharedRead
+	// Exclusive: one owner with read/write access.
+	Exclusive
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case Unowned:
+		return "unowned"
+	case SharedRead:
+		return "shared-read"
+	case Exclusive:
+		return "exclusive"
+	}
+	return "mode?"
+}
+
+// Transition is one logged ownership change.
+type Transition struct {
+	// Seq is the global transition sequence number.
+	Seq int
+	// Page is the virtual page number.
+	Page uint64
+	// Mode is the state entered; Owner is the thread acquiring it (the
+	// new exclusive owner, or the reader joining shared mode).
+	Mode  Mode
+	Owner guest.TID
+	// When records each live thread's retired-instruction count at the
+	// transition — the progress vector SMP-ReVirt logs so replay can
+	// validate fidelity.
+	When map[guest.TID]uint64
+}
+
+// String renders the transition.
+func (tr Transition) String() string {
+	return fmt.Sprintf("#%d page %#x -> %v by thread %d", tr.Seq, tr.Page, tr.Mode, tr.Owner)
+}
+
+// Log is a recorded transition sequence.
+type Log struct {
+	Transitions []Transition
+}
+
+// pageState is the live CREW state of one page.
+type pageState struct {
+	mode    Mode
+	owner   guest.TID
+	readers map[guest.TID]struct{}
+}
+
+// state tracks all pages.
+type state struct {
+	pages map[uint64]*pageState
+}
+
+func newState() *state {
+	return &state{pages: make(map[uint64]*pageState)}
+}
+
+// get returns the page state, creating it Unowned.
+func (s *state) get(vpn uint64) *pageState {
+	ps := s.pages[vpn]
+	if ps == nil {
+		ps = &pageState{readers: make(map[guest.TID]struct{})}
+		s.pages[vpn] = ps
+	}
+	return ps
+}
+
+// permits reports whether tid may perform the access under the current
+// CREW state without a transition.
+func (ps *pageState) permits(tid guest.TID, write bool) bool {
+	switch ps.mode {
+	case Exclusive:
+		return ps.owner == tid
+	case SharedRead:
+		if write {
+			return false
+		}
+		_, ok := ps.readers[tid]
+		return ok
+	}
+	return false
+}
+
+// apply performs the transition for tid.
+func (ps *pageState) apply(mode Mode, tid guest.TID) {
+	switch mode {
+	case Exclusive:
+		ps.mode = Exclusive
+		ps.owner = tid
+		for r := range ps.readers {
+			delete(ps.readers, r)
+		}
+	case SharedRead:
+		if ps.mode == Exclusive {
+			// Demotion: the old owner stays a reader (its TLB mapping
+			// downgrades, it does not lose read access).
+			if ps.owner != guest.NoTID {
+				ps.readers[ps.owner] = struct{}{}
+			}
+			ps.owner = guest.NoTID
+		}
+		ps.mode = SharedRead
+		ps.readers[tid] = struct{}{}
+	default:
+		panic("crew: invalid transition target")
+	}
+}
+
+// VPN returns the page number of addr (CREW granularity).
+func VPN(addr uint64) uint64 { return vm.PageNum(addr) }

@@ -1,0 +1,216 @@
+package crew
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dbi"
+	"repro/internal/isa"
+)
+
+// racyCounter builds a program whose result depends on the schedule:
+// workers do unsynchronized read-modify-write cycles on one counter with a
+// widened race window, and main prints the final counter bytes.
+func racyCounter(t *testing.T, workers, iters, window int) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("racyctr")
+	counter := b.GlobalU64(0)
+	tids := b.GlobalArray(workers)
+
+	for w := 0; w < workers; w++ {
+		b.MovImm(isa.R4, int64(w))
+		b.ThreadCreate("worker", isa.R4)
+		b.StoreAbs(tids+uint64(8*w), isa.R0)
+	}
+	for w := 0; w < workers; w++ {
+		b.LoadAbs(isa.R5, tids+uint64(8*w))
+		b.ThreadJoin(isa.R5)
+	}
+	// Print the counter's raw bytes.
+	b.MovImm(isa.R0, int64(counter))
+	b.MovImm(isa.R1, 8)
+	b.Syscall(isa.SysWrite)
+	b.MovImm(isa.R0, 0)
+	b.Syscall(isa.SysExit)
+
+	b.Label("worker")
+	b.LoopN(isa.R2, int64(iters), func(b *isa.Builder) {
+		b.LoadAbs(isa.R6, counter)
+		for i := 0; i < window; i++ {
+			b.Add(isa.R7, isa.R7, isa.R2) // widen the load→store window
+		}
+		b.AddImm(isa.R6, isa.R6, 1)
+		b.StoreAbs(counter, isa.R6)
+	})
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func cfgWithQuantum(q uint64) dbi.Config {
+	cfg := dbi.DefaultConfig()
+	cfg.Quantum = q
+	return cfg
+}
+
+// TestScheduleSensitivity establishes that replay is non-trivial: the same
+// racy program produces different results under different quanta.
+func TestScheduleSensitivity(t *testing.T) {
+	prog := racyCounter(t, 4, 60, 8)
+	a, _, err := Record(prog, cfgWithQuantum(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Record(prog, cfgWithQuantum(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Console == b.Console {
+		t.Skip("schedules happened to agree; replay test still meaningful")
+	}
+}
+
+// TestReplayReproducesRecording is the core SMP-ReVirt property: replaying
+// under a different scheduler quantum, the enforced CREW transition order
+// reproduces the recorded execution exactly — same console bytes (including
+// racy lost updates), same exit code, same per-thread instruction counts.
+func TestReplayReproducesRecording(t *testing.T) {
+	prog := racyCounter(t, 4, 60, 8)
+	rec, log, err := Record(prog, cfgWithQuantum(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Transitions) == 0 {
+		t.Fatal("empty transition log")
+	}
+
+	for _, q := range []uint64{77, 250, 1000, 4096} {
+		rep, r, err := Replay(prog, log, cfgWithQuantum(q))
+		if err != nil {
+			t.Fatalf("replay at quantum %d: %v", q, err)
+		}
+		if rep.Console != rec.Console {
+			t.Errorf("quantum %d: console %q, recorded %q", q, rep.Console, rec.Console)
+		}
+		if rep.ExitCode != rec.ExitCode {
+			t.Errorf("quantum %d: exit %d, recorded %d", q, rep.ExitCode, rec.ExitCode)
+		}
+		if !reflect.DeepEqual(rep.Instructions, rec.Instructions) {
+			t.Errorf("quantum %d: per-thread instruction counts diverge\nreplay: %v\nrecord: %v",
+				q, rep.Instructions, rec.Instructions)
+		}
+		if rep.Transitions != rec.Transitions {
+			t.Errorf("quantum %d: consumed %d transitions, log has %d",
+				q, rep.Transitions, rec.Transitions)
+		}
+		if r.Mismatches != 0 {
+			t.Errorf("quantum %d: %d progress-vector mismatches", q, r.Mismatches)
+		}
+	}
+}
+
+// TestReplayWrongLogStalls: replaying a different program against the log
+// must fail loudly (gate livelock), not silently diverge.
+func TestReplayWrongLogStalls(t *testing.T) {
+	prog := racyCounter(t, 3, 40, 4)
+	_, log, err := Record(prog, cfgWithQuantum(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the log: swap the owners of two early write transitions.
+	var writes []int
+	for i, tr := range log.Transitions {
+		if tr.Mode == Exclusive {
+			writes = append(writes, i)
+		}
+	}
+	if len(writes) < 4 {
+		t.Fatal("not enough write transitions to corrupt")
+	}
+	i, j := writes[1], writes[2]
+	if log.Transitions[i].Owner == log.Transitions[j].Owner {
+		j = writes[3]
+	}
+	log.Transitions[i].Owner, log.Transitions[j].Owner =
+		log.Transitions[j].Owner, log.Transitions[i].Owner
+
+	cfg := cfgWithQuantum(77)
+	cfg.GateSpinLimit = 2000
+	if _, _, err := Replay(prog, log, cfg); err == nil {
+		t.Error("corrupted log replayed without error")
+	}
+}
+
+// TestCREWStateMachine unit-tests the protocol transitions.
+func TestCREWStateMachine(t *testing.T) {
+	st := newState()
+	ps := st.get(42)
+
+	if ps.permits(1, false) || ps.permits(1, true) {
+		t.Error("unowned page should permit nothing")
+	}
+	ps.apply(SharedRead, 1)
+	if !ps.permits(1, false) {
+		t.Error("reader 1 not admitted")
+	}
+	if ps.permits(2, false) {
+		t.Error("reader 2 admitted without transition")
+	}
+	if ps.permits(1, true) {
+		t.Error("write permitted in shared mode")
+	}
+	ps.apply(SharedRead, 2)
+	if !ps.permits(2, false) {
+		t.Error("reader 2 not admitted after joining")
+	}
+	ps.apply(Exclusive, 3)
+	if ps.permits(1, false) || ps.permits(2, false) {
+		t.Error("readers survive exclusive acquisition")
+	}
+	if !ps.permits(3, true) || !ps.permits(3, false) {
+		t.Error("exclusive owner lacks access")
+	}
+	// Demotion: old owner stays a reader.
+	ps.apply(SharedRead, 4)
+	if !ps.permits(3, false) {
+		t.Error("demoted owner lost read access")
+	}
+	if !ps.permits(4, false) {
+		t.Error("demoting reader not admitted")
+	}
+	if ps.permits(3, true) {
+		t.Error("demoted owner retained write access")
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	if Unowned.String() != "unowned" || SharedRead.String() != "shared-read" ||
+		Exclusive.String() != "exclusive" {
+		t.Error("mode names changed")
+	}
+	tr := Transition{Seq: 3, Page: 0x10, Mode: Exclusive, Owner: 2}
+	if tr.String() == "" {
+		t.Error("empty transition string")
+	}
+}
+
+// TestRecordDeterminism: recording the same program twice with the same
+// quantum yields identical logs (the whole simulator is deterministic).
+func TestRecordDeterminism(t *testing.T) {
+	prog := racyCounter(t, 3, 30, 4)
+	_, log1, err := Record(prog, cfgWithQuantum(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, log2, err := Record(prog, cfgWithQuantum(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(log1, log2) {
+		t.Error("recording is nondeterministic")
+	}
+}

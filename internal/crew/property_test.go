@@ -1,0 +1,101 @@
+package crew
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/guest"
+)
+
+// TestCREWInvariants (quick): under any access sequence driven through the
+// recorder's protocol, every page satisfies the CREW invariant — exclusive
+// mode has exactly one owner and no readers; shared mode has no owner.
+func TestCREWInvariants(t *testing.T) {
+	type step struct {
+		TID   uint8
+		Page  uint8
+		Write bool
+	}
+	f := func(steps []step) bool {
+		st := newState()
+		for _, s := range steps {
+			tid := guest.TID(s.TID%5 + 1)
+			ps := st.get(uint64(s.Page % 4))
+			if !ps.permits(tid, s.Write) {
+				mode := SharedRead
+				if s.Write {
+					mode = Exclusive
+				}
+				ps.apply(mode, tid)
+			}
+			// Invariants after every step.
+			switch ps.mode {
+			case Exclusive:
+				if ps.owner == guest.NoTID || len(ps.readers) != 0 {
+					return false
+				}
+				if !ps.permits(ps.owner, true) {
+					return false
+				}
+			case SharedRead:
+				if ps.owner != guest.NoTID || len(ps.readers) == 0 {
+					return false
+				}
+				for r := range ps.readers {
+					if ps.permits(r, true) {
+						return false
+					}
+				}
+			case Unowned:
+				return false // an access just happened; page cannot be unowned
+			}
+			// The access that just happened must now be permitted.
+			if !ps.permits(tid, s.Write) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDemotionChainKeepsReaders (quick): a write followed by any number of
+// reads leaves all those readers (plus the demoted writer) with read
+// access and nobody with write access.
+func TestDemotionChainKeepsReaders(t *testing.T) {
+	f := func(writer uint8, readers []uint8) bool {
+		st := newState()
+		ps := st.get(1)
+		w := guest.TID(writer%5 + 1)
+		ps.apply(Exclusive, w)
+		seen := map[guest.TID]struct{}{w: {}}
+		demoted := false
+		for _, r := range readers {
+			tid := guest.TID(r%5 + 1)
+			if !ps.permits(tid, false) {
+				ps.apply(SharedRead, tid)
+				demoted = true
+			}
+			seen[tid] = struct{}{}
+		}
+		if !demoted {
+			// Every "reader" was the exclusive owner itself: the page
+			// never left exclusive mode and the owner keeps writing.
+			return ps.permits(w, true)
+		}
+		for tid := range seen {
+			if !ps.permits(tid, false) {
+				return false
+			}
+			if ps.permits(tid, true) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,187 @@
+package crew
+
+import (
+	"repro/internal/dbi"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// RunResult is the guest-observable outcome of a recorded or replayed run,
+// plus the per-thread progress marks used for fidelity checks.
+type RunResult struct {
+	ExitCode int64
+	Console  string
+	// Instructions is each thread's retired-instruction count at exit.
+	Instructions map[guest.TID]uint64
+	// Transitions is the number of CREW transitions (log length on
+	// record; log cursor on replay).
+	Transitions int
+}
+
+// Recorder is the dbi.Tool that maintains CREW state and logs transitions.
+type Recorder struct {
+	p   *guest.Process
+	st  *state
+	log *Log
+}
+
+// Instrument implements dbi.Tool: every memory access goes through the
+// CREW protocol (SMP-ReVirt tracks all of guest-physical memory).
+func (r *Recorder) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		r.access(tid, addr, write)
+		return addr
+	}}
+}
+
+// access applies the CREW protocol for one access, logging transitions.
+func (r *Recorder) access(tid guest.TID, addr uint64, write bool) {
+	vpn := vm.PageNum(addr)
+	ps := r.st.get(vpn)
+	if ps.permits(tid, write) {
+		return
+	}
+	mode := SharedRead
+	if write {
+		mode = Exclusive
+	}
+	ps.apply(mode, tid)
+	when := make(map[guest.TID]uint64)
+	for _, id := range r.p.Threads() {
+		when[id] = r.p.Thread(id).Instructions
+	}
+	r.log.Transitions = append(r.log.Transitions, Transition{
+		Seq:   len(r.log.Transitions),
+		Page:  vpn,
+		Mode:  mode,
+		Owner: tid,
+		When:  when,
+	})
+}
+
+// Record executes prog under the given engine configuration with CREW
+// recording and returns the observable result plus the transition log.
+func Record(prog *isa.Program, cfg dbi.Config) (*RunResult, *Log, error) {
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := &Recorder{p: p, st: newState(), log: &Log{}}
+	eng := dbi.New(p, nil, rec, &stats.Clock{}, stats.DefaultCosts(), cfg)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	return result(p, res, len(rec.log.Transitions)), rec.log, nil
+}
+
+// result collects the observable outcome.
+func result(p *guest.Process, res *dbi.Result, transitions int) *RunResult {
+	instrs := make(map[guest.TID]uint64)
+	for _, id := range p.Threads() {
+		instrs[id] = p.Thread(id).Instructions
+	}
+	return &RunResult{
+		ExitCode:     res.ExitCode,
+		Console:      res.Console,
+		Instructions: instrs,
+		Transitions:  transitions,
+	}
+}
+
+// Replayer gates accesses so ownership transitions happen in logged order.
+type Replayer struct {
+	p   *guest.Process
+	st  *state
+	log *Log
+	// next is the log cursor: transitions must be claimed in order.
+	next int
+	// Mismatches counts progress-vector divergences observed when
+	// transitions are claimed (should be zero for a faithful replay).
+	Mismatches int
+}
+
+// Instrument implements dbi.Tool.
+func (r *Replayer) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	return &dbi.Plan{Gate: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) bool {
+		return r.gate(tid, addr, write)
+	}}
+}
+
+// gate admits the access if the current CREW state permits it, or if the
+// access's required transition is exactly the next logged one *and* every
+// other thread has reached the progress mark recorded at that transition;
+// otherwise the thread stalls (its quantum ends) until the others advance.
+//
+// The progress-vector wait is the heart of SMP-ReVirt's replay: a
+// transition revokes access from the page's previous holders, so granting
+// it early would cut off reads/writes they still owe from before the
+// transition. Waiting until each thread is at least as far along as it was
+// when the transition was recorded makes that impossible — and the thread
+// can always get that far, because everything it did before this
+// transition is permitted by the already-replayed prefix of the log.
+func (r *Replayer) gate(tid guest.TID, addr uint64, write bool) bool {
+	vpn := vm.PageNum(addr)
+	ps := r.st.get(vpn)
+	if ps.permits(tid, write) {
+		return true
+	}
+	if r.next >= len(r.log.Transitions) {
+		return false
+	}
+	want := Mode(SharedRead)
+	if write {
+		want = Exclusive
+	}
+	tr := r.log.Transitions[r.next]
+	if tr.Page != vpn || tr.Owner != tid || tr.Mode != want {
+		return false
+	}
+	for id, cnt := range tr.When {
+		th := r.p.Thread(id)
+		var got uint64
+		if th != nil {
+			got = th.Instructions
+		}
+		if id == tid {
+			// Fidelity check: the claimant must be exactly as far
+			// along as it was during recording (deterministic replay
+			// of its own instruction stream).
+			if got != cnt {
+				r.Mismatches++
+			}
+			continue
+		}
+		if got < cnt {
+			return false
+		}
+	}
+	ps.apply(want, tid)
+	r.next++
+	return true
+}
+
+// Replay executes prog under cfg (typically a different quantum than the
+// recording) while enforcing the logged CREW transition order. The returned
+// result should be identical to the recording's.
+func Replay(prog *isa.Program, log *Log, cfg dbi.Config) (*RunResult, *Replayer, error) {
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep := &Replayer{p: p, st: newState(), log: log}
+	eng := dbi.New(p, nil, rep, &stats.Clock{}, stats.DefaultCosts(), cfg)
+	res, err := eng.Run()
+	if err != nil {
+		return nil, rep, err
+	}
+	return result(p, res, rep.next), rep, nil
+}

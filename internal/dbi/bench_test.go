@@ -1,0 +1,63 @@
+package dbi
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// BenchmarkInterpreterThroughput measures raw simulator speed
+// (instructions per second) on a tight ALU+memory loop — the denominator
+// of every experiment's wall-clock cost.
+func BenchmarkInterpreterThroughput(b *testing.B) {
+	bld := isa.NewBuilder("throughput")
+	g := bld.GlobalU64(0)
+	bld.MovImm(isa.R1, int64(g))
+	bld.LoopN(isa.R2, 1000, func(bld *isa.Builder) {
+		bld.Add(isa.R3, isa.R3, isa.R2)
+		bld.Store(isa.R1, 0, isa.R3)
+		bld.Load(isa.R4, isa.R1, 0)
+	})
+	bld.Halt()
+	prog := bld.MustFinish()
+
+	b.ReportAllocs()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		p, err := guest.NewProcess(vm.NewMachine(), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := New(p, nil, nil, nil, stats.DefaultCosts(), DefaultConfig())
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Counters.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkBlockBuild measures code-cache population (JIT) cost.
+func BenchmarkBlockBuild(b *testing.B) {
+	bld := isa.NewBuilder("build")
+	for i := 0; i < 4000; i++ {
+		bld.Nop()
+	}
+	bld.Halt()
+	prog := bld.MustFinish()
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New(p, nil, nil, nil, stats.DefaultCosts(), DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc := isa.PC(i % 3900)
+		e.Flush(pc)
+		e.lookup(1, pc)
+	}
+}

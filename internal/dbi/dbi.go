@@ -1,0 +1,628 @@
+// Package dbi is the dynamic binary instrumentation engine — the
+// simulator's DynamoRIO (paper §2.1). It executes guest programs through a
+// code cache of basic blocks:
+//
+//   - blocks are discovered lazily, copied into the cache, and may start at
+//     any PC (so execution can resume at a faulting instruction after its
+//     block was flushed and rebuilt);
+//   - consecutive blocks are linked directly, and hot blocks are promoted
+//     to traces, both of which reduce dispatch cost;
+//   - a Tool inspects every instruction at block-build time and may attach
+//     an instrumentation Plan to memory-referencing instructions;
+//   - when a user access faults, the engine invokes the master signal
+//     handler (§3.4); the handler may flush blocks and request a retry,
+//     which rebuilds the block at the faulting PC with new instrumentation.
+//
+// The engine also drives the guest scheduler: threads run for a quantum of
+// instructions and are switched round-robin, with blocking syscalls and
+// contended locks ending quanta early.
+package dbi
+
+import (
+	"fmt"
+
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/isa"
+	"repro/internal/pagetable"
+	"repro/internal/stats"
+)
+
+// Memory is the engine's user-mode data access path — the hypervisor MMU in
+// Aikido runs, or a direct page-table walker in native runs.
+type Memory interface {
+	Load(tid guest.TID, addr uint64, size uint8, user bool) (uint64, *hypervisor.Fault)
+	Store(tid guest.TID, addr uint64, size uint8, val uint64, user bool) *hypervisor.Fault
+}
+
+// Plan is the instrumentation a Tool attaches to one memory-referencing
+// instruction at block-build time.
+type Plan struct {
+	// Gate, if non-nil, runs before anything else and may veto the access
+	// for now: returning false ends the thread's quantum without retiring
+	// the instruction, which re-executes when the thread is next
+	// scheduled. Replay tools (the SMP-ReVirt-style CREW replayer) use it
+	// to stall a thread until the logged ownership transition is its
+	// turn.
+	Gate func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) bool
+	// PreAccess runs with the resolved effective address before the
+	// access and returns the address at which the access must actually be
+	// performed — the mirror address when the tool redirects (§3.3.2), or
+	// addr unchanged. The tool does its own analysis work and cost
+	// accounting inside this callback.
+	PreAccess func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64
+	// PostAccess, if non-nil, runs after the access completes without
+	// faulting (used by the no-mirror ablation to reprotect pages).
+	PostAccess func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
+}
+
+// Tool decides instrumentation at block-build time. AikidoSD (wrapping a
+// shared-data analysis) and the full-instrumentation baseline both
+// implement it. A nil Tool runs uninstrumented.
+type Tool interface {
+	// Instrument returns the plan for the instruction at pc, or nil for
+	// no instrumentation.
+	Instrument(pc isa.PC, in isa.Instr) *Plan
+}
+
+// FaultOutcome is the master signal handler's decision.
+type FaultOutcome uint8
+
+// Fault outcomes.
+const (
+	// FaultFatal kills the run (a genuine segmentation fault).
+	FaultFatal FaultOutcome = iota
+	// FaultRetry re-executes the faulting instruction (after the handler
+	// adjusted protections and/or flushed blocks).
+	FaultRetry
+)
+
+// FaultHandler is the master signal handler invoked for faulting user
+// accesses (DynamoRIO's, modified per §3.4 to route Aikido faults to the
+// sharing detector).
+type FaultHandler func(t *guest.Thread, pc isa.PC, in isa.Instr, f *hypervisor.Fault) FaultOutcome
+
+// Counters aggregates engine statistics.
+type Counters struct {
+	// Instructions retired, across all threads.
+	Instructions uint64
+	// MemRefs is the number of retired memory-referencing instructions —
+	// column 1 of Table 2 ("Instrs. Referencing Memory").
+	MemRefs uint64
+	// InstrumentedExecs counts retired executions of instructions that
+	// carried a Plan — column 2 of Table 2 ("Instrumented Instrs.").
+	InstrumentedExecs uint64
+	// BlocksBuilt / BlocksFlushed / BlockLookups / LinkedDispatches /
+	// TraceDispatches describe code-cache behaviour.
+	BlocksBuilt      uint64
+	BlocksFlushed    uint64
+	BlockLookups     uint64
+	LinkedDispatches uint64
+	TraceDispatches  uint64
+	// Faults counts user-access faults that reached the master handler.
+	Faults uint64
+	// Retries counts faults resolved with FaultRetry.
+	Retries uint64
+	// Quanta counts scheduling quanta executed.
+	Quanta uint64
+}
+
+// block is one code-cache entry.
+type block struct {
+	start  isa.PC
+	instrs []isa.Instr
+	plans  []*Plan // parallel to instrs; nil = uninstrumented
+	end    isa.PC  // first PC past the block
+	// next links the fall-through/jump successor once observed.
+	next *block
+	// execs counts executions for trace promotion; trace marks promotion.
+	execs uint64
+	trace bool
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	// Quantum is the scheduling quantum in retired instructions.
+	Quantum uint64
+	// MaxBlock caps basic-block length in instructions.
+	MaxBlock int
+	// TraceThreshold promotes a block to the trace cache after this many
+	// executions. 0 disables traces.
+	TraceThreshold uint64
+	// ChargeDBI enables code-cache cost accounting. Native baseline runs
+	// keep it off so that "native time" is pure instruction cost.
+	ChargeDBI bool
+	// MaxSteps aborts runs exceeding this many retired instructions
+	// (guards against runaway workloads); 0 means no limit.
+	MaxSteps uint64
+	// GateSpinLimit aborts the run after this many consecutive Gate
+	// vetoes with no thread retiring an instruction — a stuck replay
+	// (log/schedule mismatch) rather than progress. 0 uses the default.
+	GateSpinLimit uint64
+}
+
+// defaultGateSpinLimit bounds gate-veto livelock detection.
+const defaultGateSpinLimit = 1 << 20
+
+// DefaultConfig returns the standard engine configuration.
+func DefaultConfig() Config {
+	return Config{
+		Quantum:        1000,
+		MaxBlock:       48,
+		TraceThreshold: 64,
+		ChargeDBI:      true,
+	}
+}
+
+// Engine executes one guest process.
+type Engine struct {
+	P     *guest.Process
+	Mem   Memory
+	Tool  Tool
+	Clock *stats.Clock
+	Costs stats.CostModel
+	Cfg   Config
+
+	// OnFault is the master signal handler; nil treats all faults as
+	// fatal.
+	OnFault FaultHandler
+	// RuntimeTouch, if set, is called once per code page the block
+	// builder reads, modelling DynamoRIO's own accesses to (possibly
+	// Aikido-protected) application pages (§3.4).
+	RuntimeTouch func(tid guest.TID, addr uint64)
+	// OnRetire, if set, observes every retired instruction with the
+	// thread's (pre-update for sources, post-update for destinations)
+	// register file — the hook register-dataflow tools (taint tracking)
+	// build on. Nil costs nothing.
+	OnRetire func(t *guest.Thread, pc isa.PC, in isa.Instr)
+
+	cache map[isa.PC]*block
+	C     Counters
+
+	prev      *block // last executed block, for linking
+	gateSpins uint64 // consecutive gate vetoes with no retirement
+}
+
+// New creates an engine over a loaded process. mem may be nil, in which
+// case a direct guest-page-table walker is used (native runs).
+func New(p *guest.Process, mem Memory, tool Tool, clock *stats.Clock, costs stats.CostModel, cfg Config) *Engine {
+	if mem == nil {
+		mem = directMemory{p}
+	}
+	if clock == nil {
+		clock = &stats.Clock{}
+	}
+	return &Engine{
+		P: p, Mem: mem, Tool: tool, Clock: clock, Costs: costs, Cfg: cfg,
+		cache: make(map[isa.PC]*block),
+	}
+}
+
+// directMemory walks the guest page table with no hypervisor (native mode).
+type directMemory struct{ p *guest.Process }
+
+func (d directMemory) Load(_ guest.TID, addr uint64, size uint8, _ bool) (uint64, *hypervisor.Fault) {
+	pte, fault := d.p.PT.Walk(addr, pagetable.AccessRead, true)
+	if fault != nil {
+		return 0, &hypervisor.Fault{Addr: addr, Access: pagetable.AccessRead, Unmapped: fault.Unmapped}
+	}
+	return d.p.M.ReadU(pte.Frame, addr&(1<<12-1), size), nil
+}
+
+func (d directMemory) Store(_ guest.TID, addr uint64, size uint8, val uint64, _ bool) *hypervisor.Fault {
+	pte, fault := d.p.PT.Walk(addr, pagetable.AccessWrite, true)
+	if fault != nil {
+		return &hypervisor.Fault{Addr: addr, Access: pagetable.AccessWrite, Unmapped: fault.Unmapped}
+	}
+	d.p.M.WriteU(pte.Frame, addr&(1<<12-1), size, val)
+	return nil
+}
+
+// Flush removes every cached block containing pc. The next execution
+// rebuilds them, picking up new instrumentation — the "delete all cached
+// basic blocks that contain the faulting instruction and re-JIT" step of
+// §3.3.2. Deleting a block also requires unlinking it: every direct link
+// into a flushed block is severed, exactly as DynamoRIO unlinks deleted
+// fragments (a dangling link would keep dispatching the stale,
+// uninstrumented copy).
+func (e *Engine) Flush(pc isa.PC) int {
+	flushed := make(map[*block]bool)
+	for start, b := range e.cache {
+		if pc >= b.start && pc < b.end {
+			delete(e.cache, start)
+			flushed[b] = true
+			if e.Cfg.ChargeDBI {
+				e.Clock.Charge(e.Costs.FlushBlock)
+			}
+			e.C.BlocksFlushed++
+		}
+	}
+	if len(flushed) > 0 {
+		for _, b := range e.cache {
+			if flushed[b.next] {
+				b.next = nil
+			}
+		}
+	}
+	e.prev = nil // the in-flight link source may be a flushed block
+	return len(flushed)
+}
+
+// CacheSize returns the number of cached blocks (tests).
+func (e *Engine) CacheSize() int { return len(e.cache) }
+
+// lookup fetches or builds the block starting at pc.
+func (e *Engine) lookup(tid guest.TID, pc isa.PC) *block {
+	if b, ok := e.cache[pc]; ok {
+		return b
+	}
+	b := e.build(tid, pc)
+	e.cache[pc] = b
+	return b
+}
+
+// build copies instructions [pc, end) into a fresh block, consulting the
+// tool for instrumentation. Building reads the application's code pages,
+// which may be Aikido-protected — RuntimeTouch lets the system model
+// DynamoRIO's unprotect/reprotect dance (§3.4).
+func (e *Engine) build(tid guest.TID, pc isa.PC) *block {
+	prog := e.P.Prog
+	b := &block{start: pc, end: pc}
+	for len(b.instrs) < e.Cfg.MaxBlock {
+		cur := pc + isa.PC(len(b.instrs))
+		if int(cur) >= len(prog.Code) {
+			break
+		}
+		in := prog.At(cur)
+		b.instrs = append(b.instrs, in)
+		var plan *Plan
+		if e.Tool != nil {
+			plan = e.Tool.Instrument(cur, in)
+		}
+		b.plans = append(b.plans, plan)
+		b.end = cur + 1
+		// Blocks end at control transfers and at instructions that may
+		// block or switch context (syscalls, locks), as in DynamoRIO.
+		if in.Op.IsBranch() || in.Op == isa.Syscall || in.Op == isa.Lock || in.Op == isa.Unlock {
+			break
+		}
+	}
+	if e.RuntimeTouch != nil {
+		// One touch per code page the builder read.
+		first := prog.AddrOf(b.start)
+		last := prog.AddrOf(b.end - 1)
+		for a := first &^ 0xfff; a <= last; a += 1 << 12 {
+			e.RuntimeTouch(tid, a)
+		}
+	}
+	if e.Cfg.ChargeDBI {
+		e.Clock.Charge(e.Costs.BuildBlockBase + e.Costs.BuildPerInstr*uint64(len(b.instrs)))
+	}
+	e.C.BlocksBuilt++
+	return b
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	Cycles   uint64
+	ExitCode int64
+	Counters Counters
+	Console  string
+}
+
+// Run executes the process to completion (all threads halted or SysExit).
+func (e *Engine) Run() (*Result, error) {
+	p := e.P
+	for p.Alive() {
+		if e.Cfg.MaxSteps > 0 && e.C.Instructions > e.Cfg.MaxSteps {
+			return nil, fmt.Errorf("dbi: exceeded %d instructions (runaway workload?)", e.Cfg.MaxSteps)
+		}
+		t := p.Current()
+		if t == nil {
+			if p.Deadlocked() {
+				return nil, fmt.Errorf("dbi: deadlock: all live threads blocked")
+			}
+			return nil, fmt.Errorf("dbi: no runnable thread but process alive")
+		}
+		if err := e.runQuantum(t); err != nil {
+			return nil, err
+		}
+		if p.Exited {
+			break
+		}
+		// Rotate if the thread is still current and runnable (quantum
+		// expiry); blocking/halting already rescheduled inside guest.
+		if p.Current() == t && t.State == guest.Runnable {
+			p.Schedule()
+		}
+	}
+	return &Result{
+		Cycles:   e.Clock.Cycles(),
+		ExitCode: p.ExitCode,
+		Counters: e.C,
+		Console:  p.Console.String(),
+	}, nil
+}
+
+// runQuantum executes t until its quantum expires, it blocks, halts, or the
+// process exits.
+func (e *Engine) runQuantum(t *guest.Thread) error {
+	e.C.Quanta++
+	budget := e.Cfg.Quantum
+	for budget > 0 && t.State == guest.Runnable && !e.P.Exited {
+		b := e.dispatch(t)
+		done, err := e.execBlock(t, b, &budget)
+		if err != nil {
+			return err
+		}
+		if done {
+			return nil
+		}
+	}
+	return nil
+}
+
+// dispatch fetches the block at t.PC, charging the appropriate dispatch
+// cost (trace < linked < lookup) and maintaining links and trace promotion.
+func (e *Engine) dispatch(t *guest.Thread) *block {
+	var b *block
+	switch {
+	case e.prev != nil && e.prev.next != nil && e.prev.next.start == t.PC:
+		b = e.prev.next
+		if b.trace {
+			e.C.TraceDispatches++
+			if e.Cfg.ChargeDBI {
+				e.Clock.Charge(e.Costs.DispatchTrace)
+			}
+		} else {
+			e.C.LinkedDispatches++
+			if e.Cfg.ChargeDBI {
+				e.Clock.Charge(e.Costs.DispatchLinked)
+			}
+		}
+	default:
+		b = e.lookup(t.ID, t.PC)
+		e.C.BlockLookups++
+		if e.Cfg.ChargeDBI {
+			e.Clock.Charge(e.Costs.DispatchBlock)
+		}
+		if e.prev != nil && e.prev.next == nil {
+			e.prev.next = b // direct-link the observed successor
+		}
+	}
+	b.execs++
+	if e.Cfg.TraceThreshold > 0 && !b.trace && b.execs >= e.Cfg.TraceThreshold {
+		b.trace = true
+	}
+	e.prev = b
+	return b
+}
+
+// execBlock runs instructions of b starting at t.PC until the block ends,
+// the quantum expires, or the thread blocks/halts/faults. It returns
+// done=true when the engine should end the quantum.
+func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, error) {
+	p := e.P
+	idx := int(t.PC - b.start)
+	for idx < len(b.instrs) {
+		if *budget == 0 {
+			return true, nil
+		}
+		in := b.instrs[idx]
+		pc := b.start + isa.PC(idx)
+
+		// Memory-referencing instructions may fault; handle first.
+		if in.Op.IsMemRef() {
+			outcome, err := e.execMem(t, pc, in, b.plans[idx])
+			if err != nil {
+				return true, err
+			}
+			switch outcome {
+			case memRetry:
+				// Fault + retry: the handler may have flushed this
+				// block; re-dispatch at the same PC.
+				return false, nil
+			case memYield:
+				// Gate veto: end the quantum without retiring; the
+				// instruction re-executes when the thread is next
+				// scheduled.
+				t.PC = pc
+				return true, nil
+			}
+			e.retire(t, budget, pc, in)
+			idx++
+			t.PC = pc + 1
+			continue
+		}
+
+		switch in.Op {
+		case isa.Nop:
+		case isa.MovImm:
+			t.Regs[in.Rd] = uint64(in.Imm)
+		case isa.Mov:
+			t.Regs[in.Rd] = t.Regs[in.Rs]
+		case isa.Add:
+			t.Regs[in.Rd] = t.Regs[in.Rs] + t.Regs[in.Rt]
+		case isa.AddImm:
+			t.Regs[in.Rd] = t.Regs[in.Rs] + uint64(in.Imm)
+		case isa.Sub:
+			t.Regs[in.Rd] = t.Regs[in.Rs] - t.Regs[in.Rt]
+		case isa.Mul:
+			t.Regs[in.Rd] = t.Regs[in.Rs] * t.Regs[in.Rt]
+		case isa.Div:
+			if t.Regs[in.Rt] == 0 {
+				t.Regs[in.Rd] = 0
+			} else {
+				t.Regs[in.Rd] = t.Regs[in.Rs] / t.Regs[in.Rt]
+			}
+		case isa.And:
+			t.Regs[in.Rd] = t.Regs[in.Rs] & t.Regs[in.Rt]
+		case isa.Or:
+			t.Regs[in.Rd] = t.Regs[in.Rs] | t.Regs[in.Rt]
+		case isa.Xor:
+			t.Regs[in.Rd] = t.Regs[in.Rs] ^ t.Regs[in.Rt]
+		case isa.Shl:
+			t.Regs[in.Rd] = t.Regs[in.Rs] << (uint64(in.Imm) & 63)
+		case isa.Shr:
+			t.Regs[in.Rd] = t.Regs[in.Rs] >> (uint64(in.Imm) & 63)
+
+		case isa.Jmp:
+			e.retire(t, budget, pc, in)
+			t.PC = in.Target
+			return false, nil
+		case isa.Br:
+			e.retire(t, budget, pc, in)
+			if in.Cond.Eval(t.Regs[in.Rs], t.Regs[in.Rt]) {
+				t.PC = in.Target
+			} else {
+				t.PC = pc + 1
+			}
+			return false, nil
+		case isa.BrImm:
+			e.retire(t, budget, pc, in)
+			if in.Cond.Eval(t.Regs[in.Rs], uint64(in.Imm)) {
+				t.PC = in.Target
+			} else {
+				t.PC = pc + 1
+			}
+			return false, nil
+
+		case isa.Lock:
+			// PC advances only once the lock is held; a blocked thread
+			// re-executes the Lock after the FIFO handoff.
+			if !p.DoLock(t, in.Imm) {
+				return true, nil
+			}
+			e.retire(t, budget, pc, in)
+			t.PC = pc + 1
+			return false, nil
+		case isa.Unlock:
+			p.DoUnlock(t, in.Imm)
+			e.retire(t, budget, pc, in)
+			t.PC = pc + 1
+			return false, nil
+
+		case isa.Syscall:
+			// PC advances before the syscall: blocked threads resume
+			// after it.
+			e.retire(t, budget, pc, in)
+			t.PC = pc + 1
+			e.Clock.Charge(e.Costs.Syscall)
+			res, err := p.DoSyscall(t, in.Imm)
+			if err != nil {
+				return true, fmt.Errorf("dbi: thread %d pc %d: %w", t.ID, pc, err)
+			}
+			switch res {
+			case guest.SyscallDone:
+				return false, nil
+			case guest.SyscallBlocked, guest.SyscallYield, guest.SyscallExit:
+				return true, nil
+			}
+			return false, nil
+
+		case isa.Halt:
+			e.retire(t, budget, pc, in)
+			p.ExitThread(t)
+			return true, nil
+
+		default:
+			return true, fmt.Errorf("dbi: thread %d pc %d: bad opcode %v", t.ID, pc, in.Op)
+		}
+		e.retire(t, budget, pc, in)
+		idx++
+		t.PC = pc + 1
+	}
+	return false, nil
+}
+
+// retire accounts one retired instruction and fires the OnRetire observer.
+func (e *Engine) retire(t *guest.Thread, budget *uint64, pc isa.PC, in isa.Instr) {
+	e.gateSpins = 0
+	t.Instructions++
+	e.C.Instructions++
+	if in.Op.IsMemRef() {
+		e.C.MemRefs++
+	}
+	e.Clock.Charge(e.Costs.NativeInstr)
+	if *budget > 0 {
+		*budget--
+	}
+	if e.OnRetire != nil {
+		e.OnRetire(t, pc, in)
+	}
+}
+
+// memOutcome is the result of executing one memory instruction.
+type memOutcome uint8
+
+const (
+	// memRetired: the access completed.
+	memRetired memOutcome = iota
+	// memRetry: the access faulted and the handler requested a retry.
+	memRetry
+	// memYield: a Gate vetoed the access; the thread's quantum ends.
+	memYield
+)
+
+// execMem executes one memory-referencing instruction.
+func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in isa.Instr, plan *Plan) (memOutcome, error) {
+	// Effective address.
+	var addr uint64
+	if in.Op.IsDirect() {
+		addr = uint64(in.Imm)
+	} else {
+		addr = t.Regs[in.Rs] + uint64(in.Imm)
+	}
+	if plan != nil && plan.Gate != nil && !plan.Gate(t.ID, pc, addr, in.Size, in.Op.IsWrite()) {
+		e.gateSpins++
+		limit := e.Cfg.GateSpinLimit
+		if limit == 0 {
+			limit = defaultGateSpinLimit
+		}
+		if e.gateSpins > limit {
+			return memYield, fmt.Errorf(
+				"dbi: thread %d pc %d: gate livelock after %d vetoes (replay log mismatch?)",
+				t.ID, pc, e.gateSpins)
+		}
+		return memYield, nil
+	}
+	target := addr
+	if plan != nil {
+		if plan.PreAccess != nil {
+			target = plan.PreAccess(t.ID, pc, addr, in.Size, in.Op.IsWrite())
+		}
+		e.C.InstrumentedExecs++
+	}
+
+	var fault *hypervisor.Fault
+	var val uint64
+	if in.Op.IsWrite() {
+		fault = e.Mem.Store(t.ID, target, in.Size, t.Regs[in.Rt], true)
+	} else {
+		val, fault = e.Mem.Load(t.ID, target, in.Size, true)
+	}
+	if fault == nil {
+		if !in.Op.IsWrite() {
+			t.Regs[in.Rd] = val
+		}
+		if plan != nil && plan.PostAccess != nil {
+			plan.PostAccess(t.ID, pc, addr, in.Size, in.Op.IsWrite())
+		}
+		return memRetired, nil
+	}
+
+	// Fault path: master signal handler.
+	e.C.Faults++
+	e.Clock.Charge(e.Costs.Fault)
+	if e.OnFault == nil {
+		return memRetry, fmt.Errorf("dbi: thread %d pc %d: unhandled %v", t.ID, pc, fault)
+	}
+	switch e.OnFault(t, pc, in, fault) {
+	case FaultRetry:
+		e.C.Retries++
+		t.PC = pc // re-execute (block may have been flushed)
+		return memRetry, nil
+	default:
+		return memRetry, fmt.Errorf("dbi: thread %d pc %d: fatal %v", t.ID, pc, fault)
+	}
+}

@@ -1,0 +1,137 @@
+package dbi
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// gateTool vetoes the first n attempts at every memory access.
+type gateTool struct {
+	vetoes  int
+	yielded int
+}
+
+func (g *gateTool) Instrument(pc isa.PC, in isa.Instr) *Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	return &Plan{Gate: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) bool {
+		if g.vetoes > 0 {
+			g.vetoes--
+			g.yielded++
+			return false
+		}
+		return true
+	}}
+}
+
+func gateProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("gate")
+	x := b.GlobalU64(0)
+	b.MovImm(isa.R4, 5)
+	b.StoreAbs(x, isa.R4)
+	b.LoadAbs(isa.R0, x)
+	b.Syscall(isa.SysExit)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// TestGateYieldsThenProceeds: vetoed accesses end the quantum without
+// retiring; once the gate opens the instruction executes exactly once.
+func TestGateYieldsThenProceeds(t *testing.T) {
+	prog := gateProgram(t)
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gateTool{vetoes: 7}
+	e := New(p, nil, g, &stats.Clock{}, stats.DefaultCosts(), DefaultConfig())
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 5 {
+		t.Errorf("exit %d, want 5", res.ExitCode)
+	}
+	if g.yielded != 7 {
+		t.Errorf("yielded %d times, want 7", g.yielded)
+	}
+	if res.Counters.MemRefs != 2 {
+		t.Errorf("retired %d memory refs, want 2 (no double retirement)", res.Counters.MemRefs)
+	}
+}
+
+// TestGateLivelockDetected: a gate that never opens aborts the run with a
+// diagnostic instead of spinning forever.
+func TestGateLivelockDetected(t *testing.T) {
+	prog := gateProgram(t)
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := &gateTool{vetoes: 1 << 30}
+	cfg := DefaultConfig()
+	cfg.GateSpinLimit = 500
+	e := New(p, nil, g, &stats.Clock{}, stats.DefaultCosts(), cfg)
+	_, err = e.Run()
+	if err == nil || !strings.Contains(err.Error(), "livelock") {
+		t.Fatalf("err = %v, want gate livelock", err)
+	}
+}
+
+// TestGateSpinResetOnProgress: interleaved vetoes and successes never trip
+// the livelock detector as long as someone retires instructions.
+func TestGateSpinResetOnProgress(t *testing.T) {
+	b := isa.NewBuilder("gatespin")
+	x := b.GlobalU64(0)
+	b.LoopN(isa.R2, 50, func(b *isa.Builder) {
+		b.LoadAbs(isa.R4, x)
+		b.AddImm(isa.R4, isa.R4, 1)
+		b.StoreAbs(x, isa.R4)
+	})
+	b.LoadAbs(isa.R0, x)
+	b.Syscall(isa.SysExit)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Veto every third attempt, forever.
+	n := 0
+	tool := planFunc(func(pc isa.PC, in isa.Instr) *Plan {
+		if !in.Op.IsMemRef() {
+			return nil
+		}
+		return &Plan{Gate: func(guest.TID, isa.PC, uint64, uint8, bool) bool {
+			n++
+			return n%3 != 0
+		}}
+	})
+	cfg := DefaultConfig()
+	cfg.GateSpinLimit = 10 // tight: only consecutive vetoes may trip it
+	e := New(p, nil, tool, &stats.Clock{}, stats.DefaultCosts(), cfg)
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 50 {
+		t.Errorf("exit %d, want 50", res.ExitCode)
+	}
+}
+
+// planFunc adapts a function to the Tool interface.
+type planFunc func(pc isa.PC, in isa.Instr) *Plan
+
+func (f planFunc) Instrument(pc isa.PC, in isa.Instr) *Plan { return f(pc, in) }

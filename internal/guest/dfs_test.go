@@ -1,0 +1,171 @@
+package guest
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/pagetable"
+	"repro/internal/vm"
+)
+
+// dfsProgram: main writes 1 to x, spawns a child that writes 2, and
+// immediately after the spawn reads x into the exit code. Under
+// SchedSerialDFS the child runs to completion first (exit 2); under
+// round-robin with a large quantum the parent's read precedes the child
+// (exit 1).
+func dfsProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	b := isa.NewBuilder("dfs")
+	x := b.GlobalU64(0)
+	b.MovImm(isa.R4, 1)
+	b.StoreAbs(x, isa.R4)
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("child", isa.R5)
+	b.LoadAbs(isa.R0, x) // read immediately after spawn
+	b.Syscall(isa.SysExit)
+	b.Label("child")
+	b.MovImm(isa.R4, 2)
+	b.StoreAbs(x, isa.R4)
+	b.Halt()
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runPolicy executes a program under the given policy with a minimal
+// interpreter (no DBI engine, to keep the test within this package).
+func runPolicy(t *testing.T, prog *isa.Program, policy SchedPolicy) int64 {
+	t.Helper()
+	p, err := NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Policy = policy
+	steps := 0
+	for p.Alive() && !p.Exited {
+		t0 := p.Current()
+		if t0 == nil {
+			t.Fatal("no runnable thread")
+		}
+		if steps++; steps > 100000 {
+			t.Fatal("runaway")
+		}
+		in := prog.At(t0.PC)
+		pc := t0.PC
+		switch in.Op {
+		case isa.MovImm:
+			t0.Regs[in.Rd] = uint64(in.Imm)
+			t0.PC = pc + 1
+		case isa.Mov:
+			t0.Regs[in.Rd] = t0.Regs[in.Rs]
+			t0.PC = pc + 1
+		case isa.StoreAbs:
+			pte, _ := p.PT.Walk(uint64(in.Imm), pagetable.AccessWrite, true)
+			p.M.WriteU(pte.Frame, vm.PageOff(uint64(in.Imm)), 8, t0.Regs[in.Rt])
+			t0.PC = pc + 1
+		case isa.LoadAbs:
+			pte, _ := p.PT.Walk(uint64(in.Imm), pagetable.AccessRead, true)
+			t0.Regs[in.Rd] = p.M.ReadU(pte.Frame, vm.PageOff(uint64(in.Imm)), 8)
+			t0.PC = pc + 1
+		case isa.Syscall:
+			t0.PC = pc + 1
+			if _, err := p.DoSyscall(t0, in.Imm); err != nil {
+				t.Fatal(err)
+			}
+		case isa.Halt:
+			p.ExitThread(t0)
+		default:
+			t.Fatalf("unexpected op %v", in.Op)
+		}
+	}
+	return p.ExitCode
+}
+
+func TestSerialDFSChildRunsFirst(t *testing.T) {
+	if got := runPolicy(t, dfsProgram(t), SchedSerialDFS); got != 2 {
+		t.Errorf("DFS exit = %d, want 2 (child completes at spawn)", got)
+	}
+	if got := runPolicy(t, dfsProgram(t), SchedRoundRobin); got != 1 {
+		t.Errorf("round-robin exit = %d, want 1 (parent continues)", got)
+	}
+}
+
+// TestSerialDFSNested: grandchildren complete before the middle task
+// resumes, recursively.
+func TestSerialDFSNested(t *testing.T) {
+	b := isa.NewBuilder("dfs-nested")
+	x := b.GlobalU64(0)
+	// main spawns child; child spawns grandchild; grandchild writes 7;
+	// child reads (must see 7), adds 1, writes back; main reads (must see
+	// 8) into exit code.
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("child", isa.R5)
+	b.LoadAbs(isa.R0, x)
+	b.Syscall(isa.SysExit)
+
+	b.Label("child")
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("grandchild", isa.R5)
+	b.LoadAbs(isa.R4, x)
+	b.AddImm(isa.R4, isa.R4, 1)
+	b.StoreAbs(x, isa.R4)
+	b.Halt()
+
+	b.Label("grandchild")
+	b.MovImm(isa.R4, 7)
+	b.StoreAbs(x, isa.R4)
+	b.Halt()
+
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extend the mini-interpreter ops: AddImm.
+	p, err := NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Policy = SchedSerialDFS
+	steps := 0
+	for p.Alive() && !p.Exited {
+		t0 := p.Current()
+		if steps++; steps > 100000 {
+			t.Fatal("runaway")
+		}
+		in := prog.At(t0.PC)
+		pc := t0.PC
+		switch in.Op {
+		case isa.MovImm:
+			t0.Regs[in.Rd] = uint64(in.Imm)
+			t0.PC = pc + 1
+		case isa.Mov:
+			t0.Regs[in.Rd] = t0.Regs[in.Rs]
+			t0.PC = pc + 1
+		case isa.AddImm:
+			t0.Regs[in.Rd] = t0.Regs[in.Rs] + uint64(in.Imm)
+			t0.PC = pc + 1
+		case isa.StoreAbs:
+			pte, _ := p.PT.Walk(uint64(in.Imm), pagetable.AccessWrite, true)
+			p.M.WriteU(pte.Frame, vm.PageOff(uint64(in.Imm)), 8, t0.Regs[in.Rt])
+			t0.PC = pc + 1
+		case isa.LoadAbs:
+			pte, _ := p.PT.Walk(uint64(in.Imm), pagetable.AccessRead, true)
+			t0.Regs[in.Rd] = p.M.ReadU(pte.Frame, vm.PageOff(uint64(in.Imm)), 8)
+			t0.PC = pc + 1
+		case isa.Syscall:
+			t0.PC = pc + 1
+			if _, err := p.DoSyscall(t0, in.Imm); err != nil {
+				t.Fatal(err)
+			}
+		case isa.Halt:
+			p.ExitThread(t0)
+		default:
+			t.Fatalf("unexpected op %v", in.Op)
+		}
+	}
+	if p.ExitCode != 8 {
+		t.Errorf("exit = %d, want 8 (grandchild 7, child +1, DFS order)", p.ExitCode)
+	}
+}

@@ -1,0 +1,179 @@
+package hypervisor
+
+import (
+	"repro/internal/guest"
+	"repro/internal/pagetable"
+	"repro/internal/vm"
+)
+
+// Lib is AikidoLib: the userspace library through which the Aikido runtime
+// (DynamoRIO + AikidoSD) issues hypercalls that bypass the guest OS
+// (paper §3.1). Every mutator counts as one hypercall.
+type Lib struct {
+	h *Hypervisor
+}
+
+// Lib returns the userspace hypercall interface of this AikidoVM.
+func (h *Hypervisor) Lib() *Lib { return &Lib{h: h} }
+
+// RegisterFaultPages registers the two special delivery pages allocated by
+// the runtime — one mapped without read access, one without write access —
+// and the memory slot where AikidoVM records the true faulting address
+// (§3.2.5). The pages must be mapped in the guest application's address
+// space with protections matching the faults they stand in for.
+func (l *Lib) RegisterFaultPages(readFaultPage, writeFaultPage, addrSlot uint64) {
+	l.h.Stats.Hypercalls++
+	l.h.faultPageRead = readFaultPage
+	l.h.faultPageWrite = writeFaultPage
+	l.h.faultAddrSlot = addrSlot
+}
+
+// protEntry locates (or creates) the protection row for vpn in the table
+// the active paging mode keys on: the virtual page under shadow paging, the
+// backing guest-physical frame under nested paging. The returned invalidate
+// function drops the translation-cache entries the change affects.
+func (l *Lib) protEntry(vpn uint64, defProt pagetable.Prot) (*pageProt, func()) {
+	h := l.h
+	if h.mode == NestedPaging {
+		if frame, ok := h.frameOf(vpn); ok {
+			pp := h.protFrame[frame]
+			if pp == nil {
+				pp = &pageProt{def: defProt, override: make(map[guest.TID]pagetable.Prot)}
+				h.protFrame[frame] = pp
+			}
+			h.noteFrameVpn(frame, vpn)
+			return pp, func() { h.invalidateFrame(frame) }
+		}
+		// The page is not currently mapped; EPT permissions cannot be
+		// installed until it is. Fall through to the vpn-keyed table so
+		// the request is not lost — protForAccess consults only the
+		// frame table in nested mode, but AikidoSD never protects
+		// unmapped pages, so this path is defensive.
+	}
+	pp := h.prot[vpn]
+	if pp == nil {
+		pp = &pageProt{def: defProt, override: make(map[guest.TID]pagetable.Prot)}
+		h.prot[vpn] = pp
+	}
+	return pp, func() { h.invalidate(vpn) }
+}
+
+// SetThreadProt installs a per-thread protection override for one page.
+// Other threads (and future threads) are unaffected.
+func (l *Lib) SetThreadProt(tid guest.TID, vpn uint64, prot pagetable.Prot) {
+	l.h.Stats.Hypercalls++
+	pp, inval := l.protEntry(vpn, protAll)
+	pp.override[tid] = prot
+	inval()
+}
+
+// SetDefaultProt installs the protection applied to every thread without an
+// override — including threads created later. With clearOverrides it also
+// removes all per-thread exceptions, which is how a page is protected
+// globally when it becomes shared.
+func (l *Lib) SetDefaultProt(vpn uint64, prot pagetable.Prot, clearOverrides bool) {
+	l.h.Stats.Hypercalls++
+	pp, inval := l.protEntry(vpn, 0)
+	pp.def = prot
+	if clearOverrides {
+		for k := range pp.override {
+			delete(pp.override, k)
+		}
+	}
+	inval()
+}
+
+// RegisterMirrorRange tells AikidoVM that [vpnBase, vpnBase+pages) is a
+// mirror alias of application memory. Under nested paging the hypervisor
+// installs an unprotected alternate EPT view for the range — without it,
+// mirror accesses would inherit the guest-physical protection of the frames
+// they alias and fault forever (see PagingMode). Under shadow paging the
+// call records nothing beyond the hypercall: virtual-page-keyed protections
+// never applied to the mirror range in the first place.
+func (l *Lib) RegisterMirrorRange(vpnBase uint64, pages int) {
+	l.h.Stats.Hypercalls++
+	if l.h.mode == NestedPaging {
+		l.h.addMirrorRange(vpnBase, pages)
+	}
+}
+
+// ProtectPage denies all userspace access to a page for every current and
+// future thread (used by AikidoSD at startup and when a page turns shared).
+func (l *Lib) ProtectPage(vpn uint64) {
+	l.SetDefaultProt(vpn, pagetable.ProtNone, true)
+}
+
+// ProtectRange protects [vpnBase, vpnBase+pages) for every current and
+// future thread in one batched hypercall — how AikidoSD protects whole
+// segments at startup and on mmap/brk ("one batched hypercall per segment").
+func (l *Lib) ProtectRange(vpnBase uint64, pages int) {
+	for i := 0; i < pages; i++ {
+		pp, inval := l.protEntry(vpnBase+uint64(i), 0)
+		pp.def = pagetable.ProtNone
+		for k := range pp.override {
+			delete(pp.override, k)
+		}
+		inval()
+	}
+	l.h.Stats.Hypercalls++
+}
+
+// ClearRange removes all Aikido protection state from [vpnBase,
+// vpnBase+pages) in one batched hypercall (segment unmap).
+func (l *Lib) ClearRange(vpnBase uint64, pages int) {
+	for i := 0; i < pages; i++ {
+		vpn := vpnBase + uint64(i)
+		if l.h.mode == NestedPaging {
+			if frame, ok := l.h.frameOf(vpn); ok {
+				delete(l.h.protFrame, frame)
+				l.h.invalidateFrame(frame)
+				continue
+			}
+		}
+		delete(l.h.prot, vpn)
+		l.h.invalidate(vpn)
+	}
+	l.h.Stats.Hypercalls++
+}
+
+// UnprotectForThread removes Aikido restrictions on a page for one thread
+// only (the page becomes "private to tid").
+func (l *Lib) UnprotectForThread(tid guest.TID, vpn uint64) {
+	l.SetThreadProt(tid, vpn, protAll)
+}
+
+// ClearPage removes all Aikido protection state from a page (all threads
+// access freely again). Used by DynamoRIO's §3.4 unprotect/reprotect dance.
+func (l *Lib) ClearPage(vpn uint64) {
+	l.h.Stats.Hypercalls++
+	if l.h.mode == NestedPaging {
+		if frame, ok := l.h.frameOf(vpn); ok {
+			delete(l.h.protFrame, frame)
+			l.h.invalidateFrame(frame)
+			return
+		}
+	}
+	delete(l.h.prot, vpn)
+	l.h.invalidate(vpn)
+}
+
+// IsAikidoFault implements aikido_is_aikido_pagefault(): the signal handler
+// checks whether the delivered fault address is one of the registered
+// delivery pages.
+func (l *Lib) IsAikidoFault(deliveredAddr uint64) bool {
+	return deliveredAddr != 0 &&
+		(deliveredAddr == l.h.faultPageRead || deliveredAddr == l.h.faultPageWrite)
+}
+
+// FaultAddr reads the true faulting address from the registered slot, the
+// way the guest signal handler does after IsAikidoFault returns true.
+func (l *Lib) FaultAddr() uint64 {
+	if l.h.faultAddrSlot == 0 {
+		return 0
+	}
+	pte, ok := l.h.pt.Lookup(vm.PageNum(l.h.faultAddrSlot))
+	if !ok {
+		return 0
+	}
+	return l.h.m.ReadU(pte.Frame, vm.PageOff(l.h.faultAddrSlot), 8)
+}

@@ -1,0 +1,142 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllOpcodesNamed(t *testing.T) {
+	for op := Nop; op < numOps; op++ {
+		if strings.HasPrefix(op.String(), "op(") {
+			t.Errorf("opcode %d has no mnemonic", op)
+		}
+	}
+	if !strings.HasPrefix(Op(200).String(), "op(") {
+		t.Error("unknown opcode not flagged")
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	if R0.String() != "r0" || TP.String() != "tp" || SP.String() != "sp" {
+		t.Errorf("register names: %v %v %v", R0, TP, SP)
+	}
+}
+
+func TestSyscallNames(t *testing.T) {
+	known := map[int64]string{
+		SysExit: "exit", SysWrite: "write", SysMmap: "mmap",
+		SysMunmap: "munmap", SysBrk: "brk", SysThreadCreate: "thread_create",
+		SysThreadJoin: "thread_join", SysBarrier: "barrier", SysYield: "yield",
+	}
+	for n, want := range known {
+		if got := SyscallName(n); got != want {
+			t.Errorf("SyscallName(%d) = %q, want %q", n, got, want)
+		}
+	}
+	if !strings.HasPrefix(SyscallName(77), "sys(") {
+		t.Error("unknown syscall not flagged")
+	}
+}
+
+func TestCondNames(t *testing.T) {
+	for _, c := range []Cond{EQ, NE, LT, LE, GT, GE} {
+		if strings.HasPrefix(c.String(), "cond(") {
+			t.Errorf("cond %d unnamed", c)
+		}
+	}
+	if !strings.HasPrefix(Cond(99).String(), "cond(") {
+		t.Error("unknown cond not flagged")
+	}
+}
+
+func TestInstrStringAllForms(t *testing.T) {
+	// Each instruction form renders without falling back to the bare
+	// opcode (except forms that ARE the bare opcode).
+	cases := []Instr{
+		{Op: Mov, Rd: R1, Rs: R2},
+		{Op: Add, Rd: R1, Rs: R2, Rt: R3},
+		{Op: Sub, Rd: R1, Rs: R2, Rt: R3},
+		{Op: Mul, Rd: R1, Rs: R2, Rt: R3},
+		{Op: Div, Rd: R1, Rs: R2, Rt: R3},
+		{Op: And, Rd: R1, Rs: R2, Rt: R3},
+		{Op: Or, Rd: R1, Rs: R2, Rt: R3},
+		{Op: Xor, Rd: R1, Rs: R2, Rt: R3},
+		{Op: AddImm, Rd: R1, Rs: R2, Imm: 5},
+		{Op: Shl, Rd: R1, Rs: R2, Imm: 3},
+		{Op: Shr, Rd: R1, Rs: R2, Imm: 3},
+		{Op: Store, Rs: R1, Imm: 8, Rt: R2, Size: 4},
+		{Op: LoadAbs, Rd: R1, Imm: 0x100, Size: 2},
+		{Op: Jmp, Target: 5},
+		{Op: BrImm, Cond: LT, Rs: R1, Imm: 3, Target: 9},
+		{Op: Lock, Imm: 2},
+		{Op: Unlock, Imm: 2},
+		{Op: Syscall, Imm: 1},
+		{Op: Nop},
+	}
+	for _, in := range cases {
+		s := in.String()
+		if s == "" {
+			t.Errorf("%v renders empty", in.Op)
+		}
+	}
+}
+
+func TestDisassembleShowsLabels(t *testing.T) {
+	b := NewBuilder("d")
+	b.Label("start").Nop().Label("end").Halt()
+	p := b.MustFinish()
+	d := p.Disassemble()
+	if !strings.Contains(d, "start:") || !strings.Contains(d, "end:") {
+		t.Errorf("labels missing:\n%s", d)
+	}
+}
+
+func TestBuilderSizedAccessors(t *testing.T) {
+	b := NewBuilder("sized")
+	b.LoadSized(2, R1, R2, 0)
+	b.StoreSized(1, R2, 0, R1)
+	b.Halt()
+	p := b.MustFinish()
+	if p.Code[0].Size != 2 || p.Code[1].Size != 1 {
+		t.Error("sized accessors lost the size")
+	}
+}
+
+func TestBuilderEmitAndPC(t *testing.T) {
+	b := NewBuilder("emit")
+	if b.PC() != 0 {
+		t.Error("fresh builder PC != 0")
+	}
+	pc := b.Emit(Instr{Op: Nop})
+	if pc != 0 || b.PC() != 1 {
+		t.Error("Emit PC tracking wrong")
+	}
+	b.Halt()
+	b.MustFinish()
+}
+
+func TestMustFinishPanicsOnBadProgram(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("missing")
+	defer func() {
+		if recover() == nil {
+			t.Error("MustFinish did not panic")
+		}
+	}()
+	b.MustFinish()
+}
+
+func TestCodeBytesAndEntry(t *testing.T) {
+	b := NewBuilder("cb")
+	b.Nop().Nop().Halt()
+	p := b.MustFinish()
+	if p.CodeBytes() != 3*InstrBytes {
+		t.Errorf("CodeBytes = %d", p.CodeBytes())
+	}
+	if p.Entry != 0 {
+		t.Errorf("Entry = %d", p.Entry)
+	}
+	if p.At(2).Op != Halt {
+		t.Error("At(2) wrong")
+	}
+}

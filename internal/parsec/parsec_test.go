@@ -1,0 +1,159 @@
+package parsec
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+func TestAllBenchmarksValidate(t *testing.T) {
+	bs := All()
+	if len(bs) != 10 {
+		t.Fatalf("benchmarks = %d, want 10", len(bs))
+	}
+	for _, b := range bs {
+		if _, err := b.Build(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		if b.Spec.Threads != 8 {
+			t.Errorf("%s: default threads = %d, want 8", b.Name, b.Spec.Threads)
+		}
+		if b.Paper.MemRefs == 0 || b.Paper.Instrumented == 0 {
+			t.Errorf("%s: paper row incomplete", b.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, err := ByName("fluidanimate")
+	if err != nil || b.Name != "fluidanimate" {
+		t.Fatalf("ByName: %v %v", b.Name, err)
+	}
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("ByName accepted unknown benchmark")
+	}
+	if len(Names()) != 10 {
+		t.Error("Names() wrong length")
+	}
+}
+
+func TestWithThreadsAndScale(t *testing.T) {
+	b, _ := ByName("vips")
+	b2 := b.WithThreads(2).WithScale(0.5)
+	if b2.Spec.Threads != 2 {
+		t.Error("WithThreads did not apply")
+	}
+	if b2.Spec.Iters != b.Spec.Iters/2 {
+		t.Errorf("WithScale: %d, want %d", b2.Spec.Iters, b.Spec.Iters/2)
+	}
+	// Original untouched (value semantics).
+	if b.Spec.Threads != 8 {
+		t.Error("WithThreads mutated the original")
+	}
+	// Scale floor.
+	if tiny := b.WithScale(0.000001); tiny.Spec.Iters < 1 {
+		t.Error("WithScale produced zero iterations")
+	}
+}
+
+func TestSpecPredictionsMatchPaperRatios(t *testing.T) {
+	// Each model's analytic shared fraction must be within 2 points of
+	// the paper's Figure 6 value — this is the calibration contract.
+	for _, b := range All() {
+		want := b.Paper.SharedFrac()
+		got := b.Spec.ExpectedSharedFraction()
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("%s: spec shared fraction %.3f, paper %.3f", b.Name, got, want)
+		}
+	}
+}
+
+func TestBenchmarksRunUnderAikido(t *testing.T) {
+	// Small-scale smoke run of every model under the full stack.
+	for _, b := range All() {
+		b := b.WithScale(0.1)
+		prog, err := workload.Build(b.Spec)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if res.ExitCode != 0 {
+			t.Errorf("%s: exit code %d", b.Name, res.ExitCode)
+		}
+		if res.Engine.MemRefs == 0 {
+			t.Errorf("%s: no memory accesses", b.Name)
+		}
+	}
+}
+
+func TestMeasuredSharedFractionTracksPaper(t *testing.T) {
+	// At moderate scale, the Figure 6 measurement must land within 3
+	// points of the paper on every benchmark.
+	for _, b := range All() {
+		b := b.WithScale(0.5)
+		prog, err := workload.Build(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		got := res.SharedAccessFraction()
+		want := b.Paper.SharedFrac()
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("%s: measured shared fraction %.3f, paper %.3f", b.Name, got, want)
+		}
+	}
+}
+
+func TestCannealRaceFoundByBothDetectors(t *testing.T) {
+	// §5.3: the canneal Mersenne-Twister-style unsynchronized RNG state
+	// races, and both FastTrack and Aikido-FastTrack report it.
+	b, _ := ByName("canneal")
+	prog, err := workload.Build(b.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aikido, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Races) == 0 {
+		t.Error("full FastTrack found no canneal race")
+	}
+	if len(aikido.Races) == 0 {
+		t.Error("Aikido-FastTrack found no canneal race")
+	}
+}
+
+func TestLockedBenchmarksHaveNoSpuriousRaces(t *testing.T) {
+	// All models except canneal (deliberately racy) must be race-free:
+	// locks, barriers and read-only sharing are properly synchronized.
+	for _, b := range All() {
+		if b.Name == "canneal" {
+			continue
+		}
+		b := b.WithScale(0.25)
+		prog, err := workload.Build(b.Spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(res.Races) != 0 {
+			t.Errorf("%s: unexpected races: %v", b.Name, res.Races[0])
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package sampler implements a LiteRace-style sampling race detector
+// (Marino et al., PLDI 2009) — the *other* way to cut instrumentation cost
+// that the paper positions Aikido against (§1, §7.3): instead of limiting
+// analysis to shared pages (no accuracy loss beyond the first-access
+// window), sampling analyzes a random subset of accesses and trades false
+// negatives for speed.
+//
+// The sampler wraps the FastTrack detector with LiteRace's "cold-region
+// hypothesis" adaptive sampling: each static instruction starts at a 100 %
+// sampling rate (newly executed code is where bugs hide) and decays
+// geometrically toward a floor as it gets hotter. Synchronization events
+// are always processed, so the happens-before state stays sound — only
+// data accesses are dropped.
+//
+// It exists to reproduce the paper's qualitative claim: a sampling
+// detector is fast but misses races that Aikido-FastTrack still catches.
+// The extension experiment in internal/experiments quantifies this.
+package sampler
+
+import (
+	"repro/internal/fasttrack"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// Config tunes the adaptive sampler.
+type Config struct {
+	// InitialBurst is how many executions of a PC are always analyzed.
+	InitialBurst uint32
+	// DecayShift halves the sampling period... rather: after the burst,
+	// a PC is sampled once every Period executions, and Period doubles
+	// after each sampled execution until it reaches MaxPeriod.
+	MaxPeriod uint32
+}
+
+// DefaultConfig matches LiteRace's spirit: analyze new code thoroughly,
+// back off to a fraction of a percent on hot code.
+func DefaultConfig() Config {
+	return Config{InitialBurst: 8, MaxPeriod: 1024}
+}
+
+// pcState is the per-static-instruction sampling state.
+type pcState struct {
+	execs  uint32
+	period uint32
+	next   uint32 // execs value at which the next sample fires
+}
+
+// Counters describes sampler behaviour.
+type Counters struct {
+	// Seen counts access events offered; Sampled counts those analyzed.
+	Seen    uint64
+	Sampled uint64
+}
+
+// Detector is a sampling FastTrack. It satisfies the same analysis seam as
+// fasttrack.Detector and lockset.Detector.
+type Detector struct {
+	FT  *fasttrack.Detector
+	cfg Config
+
+	pcs   map[isa.PC]*pcState
+	clock *stats.Clock
+	costs stats.CostModel
+
+	C Counters
+}
+
+// New creates a sampling detector over a fresh FastTrack instance.
+func New(clock *stats.Clock, costs stats.CostModel, cfg Config) *Detector {
+	if cfg.InitialBurst == 0 {
+		cfg.InitialBurst = 1
+	}
+	if cfg.MaxPeriod == 0 {
+		cfg.MaxPeriod = 1024
+	}
+	return &Detector{
+		FT:    fasttrack.New(clock, costs),
+		cfg:   cfg,
+		pcs:   make(map[isa.PC]*pcState),
+		clock: clock,
+		costs: costs,
+	}
+}
+
+// SampleRate reports the fraction of offered accesses actually analyzed.
+func (d *Detector) SampleRate() float64 {
+	if d.C.Seen == 0 {
+		return 0
+	}
+	return float64(d.C.Sampled) / float64(d.C.Seen)
+}
+
+// Races returns the underlying detector's findings.
+func (d *Detector) Races() []fasttrack.Race { return d.FT.Races() }
+
+// OnAccess samples the access according to the PC's adaptive state.
+func (d *Detector) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	d.C.Seen++
+	// The sampling check itself is nearly free (a counter decrement in
+	// the instrumented code).
+	d.clock.Charge(d.costs.SharedCheck)
+
+	st := d.pcs[pc]
+	if st == nil {
+		st = &pcState{period: 1, next: 0}
+		d.pcs[pc] = st
+	}
+	sample := false
+	if st.execs < d.cfg.InitialBurst {
+		sample = true
+	} else if st.execs >= st.next {
+		sample = true
+		// Geometric backoff: double the period up to the cap.
+		if st.period < d.cfg.MaxPeriod {
+			st.period *= 2
+		}
+		st.next = st.execs + st.period
+	}
+	st.execs++
+	if sample {
+		d.C.Sampled++
+		d.FT.OnAccess(tid, pc, addr, size, write)
+	}
+}
+
+// OnSharedAccess adapts to the sharing.Analysis seam.
+func (d *Detector) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	d.OnAccess(tid, pc, addr, size, write)
+}
+
+// Synchronization is never sampled away: happens-before state must stay
+// sound (LiteRace does the same).
+
+// OnAcquire forwards to FastTrack.
+func (d *Detector) OnAcquire(tid guest.TID, lock int64) { d.FT.OnAcquire(tid, lock) }
+
+// OnRelease forwards to FastTrack.
+func (d *Detector) OnRelease(tid guest.TID, lock int64) { d.FT.OnRelease(tid, lock) }
+
+// OnFork forwards to FastTrack.
+func (d *Detector) OnFork(parent, child guest.TID) { d.FT.OnFork(parent, child) }
+
+// OnJoin forwards to FastTrack.
+func (d *Detector) OnJoin(joiner, child guest.TID) { d.FT.OnJoin(joiner, child) }
+
+// OnBarrierWait forwards to FastTrack.
+func (d *Detector) OnBarrierWait(tid guest.TID, id int64) { d.FT.OnBarrierWait(tid, id) }
+
+// OnBarrierRelease forwards to FastTrack.
+func (d *Detector) OnBarrierRelease(tid guest.TID, id int64) { d.FT.OnBarrierRelease(tid, id) }
+
+// AddThread forwards to FastTrack.
+func (d *Detector) AddThread(delta int) { d.FT.AddThread(delta) }

@@ -1,0 +1,406 @@
+// Package sharing implements AikidoSD, the Aikido sharing detector
+// (paper §3.3). It drives the per-page state machine of Figure 3:
+//
+//	Unused ──first access by t──▶ Private(t) ──access by u≠t──▶ Shared
+//
+// using AikidoVM's per-thread page protection: all application pages start
+// protected for everyone; the first fault makes the page private to the
+// faulting thread (unprotected for it alone); a fault by any other thread
+// makes the page shared and globally protected forever. From then on, every
+// *instruction* that faults on a shared page is instrumented — its blocks
+// are flushed and re-JITed with analysis instrumentation and its accesses
+// are redirected to the page's mirror (Figure 4) — so the shared-data
+// analysis sees exactly the accesses that touch shared pages while private
+// accesses run at native speed.
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/dbi"
+	"repro/internal/guest"
+	"repro/internal/hypervisor"
+	"repro/internal/isa"
+	"repro/internal/mirror"
+	"repro/internal/stats"
+	"repro/internal/umbra"
+	"repro/internal/vm"
+)
+
+// Provider is the per-thread page-protection surface AikidoSD consumes —
+// the subset of internal/provider.Interface the detector needs. AikidoVM
+// (the paper's hypervisor) is the canonical implementation; the dOS-style
+// and DTHREADS-style baselines of §7.1 satisfy it too, which is what lets
+// the providers ablation swap the mechanism under an unchanged detector.
+// Implementations charge their own operation costs to the simulated clock.
+type Provider interface {
+	ProtectPage(vpn uint64)
+	ProtectRange(vpnBase uint64, pages int)
+	ClearRange(vpnBase uint64, pages int)
+	UnprotectForThread(tid guest.TID, vpn uint64)
+	RegisterMirrorRange(vpnBase uint64, pages int)
+	// FaultInfo reports whether the delivered fault was caused by
+	// provider protections and, if so, the true faulting address.
+	FaultInfo(f *hypervisor.Fault) (addr uint64, ours bool)
+	// ProtChangeCost is the cost of one protection change, used to model
+	// DynamoRIO's §3.4 unprotect/reprotect dance.
+	ProtChangeCost() uint64
+}
+
+// PageState is the sharing state of one application page.
+type PageState uint8
+
+// Page states (Figure 3).
+const (
+	// Unused: no thread has touched the page since protection.
+	Unused PageState = iota
+	// Private: exactly one thread has touched the page.
+	Private
+	// Shared: at least two threads have touched the page. Terminal.
+	Shared
+)
+
+// String names the state.
+func (s PageState) String() string {
+	switch s {
+	case Unused:
+		return "unused"
+	case Private:
+		return "private"
+	case Shared:
+		return "shared"
+	}
+	return "state?"
+}
+
+// pageInfo is the per-page metadata stored in the first shadow map.
+type pageInfo struct {
+	State PageState
+	Owner guest.TID // valid when State == Private
+}
+
+// Analysis is the shared-data analysis plugged into AikidoSD — it receives
+// exactly the accesses that target shared pages.
+type Analysis interface {
+	OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
+}
+
+// Counters describes AikidoSD behaviour.
+type Counters struct {
+	// SharedPageAccesses counts instrumented accesses that actually hit a
+	// shared page (column 3 of Table 2).
+	SharedPageAccesses uint64
+	// PrivateChecked counts instrumented (indirect) accesses whose
+	// runtime check found a private page and skipped instrumentation.
+	PrivateChecked uint64
+	// PagesPrivate / PagesShared count state transitions.
+	PagesPrivate uint64
+	PagesShared  uint64
+	// FaultsHandled counts Aikido faults routed to the detector;
+	// SpuriousFaults counts faults on pages already private to the
+	// faulting thread (normally zero).
+	FaultsHandled  uint64
+	SpuriousFaults uint64
+	// InstrumentedPCs counts distinct instructions instrumented.
+	InstrumentedPCs uint64
+	// DRUnprotects counts DynamoRIO runtime accesses to protected pages
+	// resolved with the unprotect/reprotect dance (§3.4).
+	DRUnprotects uint64
+	// PagesProtected counts pages protected at startup/mmap time.
+	PagesProtected uint64
+}
+
+// Detector is one AikidoSD instance.
+type Detector struct {
+	p    *guest.Process
+	prov Provider
+	um   *umbra.Umbra
+	mir  *mirror.Manager
+
+	pages        *umbra.ShadowMap[pageInfo]
+	instrumented map[isa.PC]struct{}
+	analysis     Analysis
+
+	// flush is wired to the DBI engine's Flush (SetEngine).
+	flush func(pc isa.PC) int
+
+	clock *stats.Clock
+	costs stats.CostModel
+
+	// live reports concurrently live guest threads; mirror redirects pay
+	// a contention charge per extra thread (all redirected accesses
+	// target the mirror copies of shared data, so their cache lines
+	// ping-pong between cores). Nil means no contention accounting.
+	live func() int
+
+	// enabled gates page protection; Attach protects existing VMAs once
+	// at the end so partially constructed state never observes faults.
+	enabled bool
+	// noMirror switches instrumented shared accesses from mirror
+	// redirection to an unprotect/access/reprotect sequence — the
+	// strategy mirror pages exist to avoid (ablation; cf. §7.2).
+	noMirror bool
+
+	C Counters
+}
+
+// Attach builds an AikidoSD over an assembled Aikido stack and protects the
+// application's entire address space through the given protection provider
+// (AikidoVM in the paper's configuration; the §7.1 baselines in the
+// providers ablation). The analysis may be nil (pure sharing profiling).
+func Attach(p *guest.Process, prov Provider, um *umbra.Umbra,
+	mir *mirror.Manager, analysis Analysis, clock *stats.Clock, costs stats.CostModel) *Detector {
+
+	d := &Detector{
+		p: p, prov: prov, um: um, mir: mir,
+		pages:        umbra.NewShadowMap[pageInfo](um, vm.PageSize),
+		instrumented: make(map[isa.PC]struct{}),
+		analysis:     analysis,
+		clock:        clock,
+		costs:        costs,
+	}
+
+	// Protect every existing application page, then keep protecting new
+	// segments as they appear (mmap/brk interception).
+	d.enabled = true
+	p.AddVMAListener(d)
+	return d
+}
+
+// SetEngine wires the code-cache flush used when an instruction must be
+// re-JITed with instrumentation.
+func (d *Detector) SetEngine(e *dbi.Engine) { d.flush = e.Flush }
+
+// DisableMirror switches to the unprotect/reprotect ablation (no mirror
+// pages): each instrumented shared access temporarily lifts the page's
+// global protection and restores it afterwards, paying two hypercalls per
+// access. Benchmarked by the ablation harness to quantify what mirror pages
+// buy.
+func (d *Detector) DisableMirror() { d.noMirror = true }
+
+// SetLiveThreads wires the live-thread count used for mirror contention
+// accounting.
+func (d *Detector) SetLiveThreads(f func() int) { d.live = f }
+
+// mirrorContention returns the per-redirect contention charge: quadratic
+// in the number of extra live threads, because every redirected access
+// lands on the mirror copy of shared data and those lines ping-pong
+// between all cores at once. Writes pay double (each store transfers
+// exclusive ownership of the line); reads pay half (shared copies
+// coexist until the next write).
+func (d *Detector) mirrorContention(write bool) uint64 {
+	if d.live == nil {
+		return 0
+	}
+	n := uint64(0)
+	if l := d.live(); l > 1 {
+		n = uint64(l - 1)
+	}
+	c := d.costs.MirrorContention * n * n
+	if write {
+		return 2 * c
+	}
+	return c / 2
+}
+
+// VMAAdded implements guest.VMAListener: new application segments are
+// protected for all threads (one batched hypercall per segment).
+func (d *Detector) VMAAdded(v *guest.VMA) {
+	if !d.enabled {
+		return
+	}
+	switch v.Kind {
+	case guest.VMAShadow:
+		return
+	case guest.VMAMirror:
+		// Tell the provider about the mirror alias: AikidoVM's nested-
+		// paging mode keys protections by guest-physical frame and needs
+		// an unprotected alternate EPT view for the mirror range.
+		d.prov.RegisterMirrorRange(vm.PageNum(v.Base), v.Pages)
+		return
+	}
+	d.prov.ProtectRange(vm.PageNum(v.Base), v.Pages)
+	d.C.PagesProtected += uint64(v.Pages)
+}
+
+// VMARemoved implements guest.VMAListener.
+func (d *Detector) VMARemoved(v *guest.VMA) {
+	switch v.Kind {
+	case guest.VMAShadow, guest.VMAMirror:
+		return
+	}
+	d.prov.ClearRange(vm.PageNum(v.Base), v.Pages)
+}
+
+// PageStateOf reports the sharing state of the page containing addr
+// (profiling API; used by the sharing-profile example and tests).
+func (d *Detector) PageStateOf(addr uint64) (PageState, guest.TID) {
+	pi := d.pages.Get(0, addr)
+	if pi == nil {
+		return Unused, guest.NoTID
+	}
+	return pi.State, pi.Owner
+}
+
+// SharedPages counts pages currently in the Shared state.
+func (d *Detector) SharedPages() uint64 { return d.C.PagesShared }
+
+// InstrumentedPCs returns the number of distinct instrumented instructions.
+func (d *Detector) InstrumentedPCs() int { return len(d.instrumented) }
+
+// HandleFault is the master-signal-handler continuation for Aikido faults
+// (wired as dbi.Engine.OnFault by the system assembly, §3.4). It performs
+// the Figure 3 transitions and re-JITs faulting instructions on shared
+// pages.
+func (d *Detector) HandleFault(t *guest.Thread, pc isa.PC, in isa.Instr, f *hypervisor.Fault) dbi.FaultOutcome {
+	// Obtain the true faulting address the way the real handler does —
+	// for AikidoVM, from the registered slot rather than the (fake)
+	// delivery address (§3.2.5).
+	addr, ours := d.prov.FaultInfo(f)
+	if !ours {
+		// Genuine segmentation fault in the application: not ours.
+		return dbi.FaultFatal
+	}
+	d.C.FaultsHandled++
+	vpn := vm.PageNum(addr)
+	pi := d.pages.Get(t.ID, addr)
+	if pi == nil {
+		return dbi.FaultFatal // fault outside every known region
+	}
+
+	switch pi.State {
+	case Unused:
+		// First scenario of Figure 3: make the page private to t.
+		pi.State = Private
+		pi.Owner = t.ID
+		d.C.PagesPrivate++
+		d.prov.UnprotectForThread(t.ID, vpn)
+		return dbi.FaultRetry
+
+	case Private:
+		if pi.Owner == t.ID {
+			// The page is supposedly ours yet we faulted — only
+			// possible after external protection churn. Repair and
+			// count it.
+			d.C.SpuriousFaults++
+			d.prov.UnprotectForThread(t.ID, vpn)
+			return dbi.FaultRetry
+		}
+		// Third scenario: a second thread touched the page — it is now
+		// shared and globally protected, forever.
+		pi.State = Shared
+		pi.Owner = guest.NoTID
+		d.C.PagesPrivate--
+		d.C.PagesShared++
+		d.prov.ProtectPage(vpn)
+		d.instrument(pc)
+		return dbi.FaultRetry
+
+	case Shared:
+		// Fourth scenario: a new instruction touched a shared page.
+		d.instrument(pc)
+		return dbi.FaultRetry
+	}
+	panic(fmt.Sprintf("sharing: invalid page state %d", pi.State))
+}
+
+// instrument marks pc as accessing shared data and flushes its cached
+// blocks so the next execution is re-JITed with instrumentation (§3.3.2).
+func (d *Detector) instrument(pc isa.PC) {
+	if _, ok := d.instrumented[pc]; ok {
+		return
+	}
+	d.instrumented[pc] = struct{}{}
+	d.C.InstrumentedPCs++
+	if d.flush != nil {
+		d.flush(pc)
+	}
+}
+
+// Instrument implements dbi.Tool: instructions known to access shared pages
+// get the Figure 4 instrumentation; everything else runs untouched.
+func (d *Detector) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	if _, ok := d.instrumented[pc]; !ok {
+		return nil
+	}
+	direct := in.Op.IsDirect()
+	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		// The emitted Figure-4 sequence: inlined translation, branch,
+		// mirror-address computation, plus the re-JITed block's lost
+		// optimization opportunities.
+		d.clock.Charge(d.costs.InstrumentedExec)
+		// shd_addr = app_to_shd(app_addr): the page-state lookup goes
+		// through Umbra's translation caches (charged inside Get).
+		pi := d.pages.Get(tid, addr)
+		if pi == nil {
+			return addr
+		}
+		if !direct {
+			// Indirect instructions carry the emitted shared/private
+			// branch; direct ones were rewritten unconditionally.
+			d.clock.Charge(d.costs.SharedCheck)
+			if pi.State != Shared {
+				// Private fast-ish path: jump over instrumentation
+				// and run the original access (it may fault and
+				// drive a state transition).
+				d.C.PrivateChecked++
+				return addr
+			}
+		}
+		// Shared: run the analysis, then make the access succeed
+		// despite the global protection.
+		d.C.SharedPageAccesses++
+		if d.analysis != nil {
+			d.analysis.OnSharedAccess(tid, pc, addr, size, write)
+		}
+		if d.noMirror {
+			// Ablation: unprotect for this thread around the access
+			// (reprotected in PostAccess below).
+			d.prov.UnprotectForThread(tid, vm.PageNum(addr))
+			return addr
+		}
+		if m, ok := d.mir.Translate(addr); ok {
+			d.clock.Charge(d.costs.MirrorRedirect + d.mirrorContention(write))
+			return m
+		}
+		// No mirror (should not happen for app segments): let the
+		// original access fault visibly rather than silently pass.
+		return addr
+	}, PostAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+		if !d.noMirror {
+			return
+		}
+		pi := d.pages.Get(tid, addr)
+		if pi != nil && pi.State == Shared {
+			d.prov.ProtectPage(vm.PageNum(addr))
+		}
+	}}
+}
+
+// TouchCode models DynamoRIO's own reads of application code pages during
+// block building (§3.4): a read of a page protected for this thread faults
+// inside DynamoRIO, which unprotects the page for the thread, performs the
+// read, notes the page, and reprotects it before returning to application
+// code. No sharing-state transition occurs.
+func (d *Detector) TouchCode(tid guest.TID, addr uint64) {
+	pi := d.pages.Get(tid, addr)
+	if pi == nil {
+		return
+	}
+	faults := false
+	switch pi.State {
+	case Unused, Shared:
+		faults = true
+	case Private:
+		faults = pi.Owner != tid
+	}
+	if faults {
+		d.C.DRUnprotects++
+		// Fault into DynamoRIO's handler + unprotect + reprotect at the
+		// provider's protection-change price.
+		d.clock.Charge(d.costs.Fault + 2*d.prov.ProtChangeCost())
+	}
+}

@@ -1,0 +1,73 @@
+package spbags
+
+import (
+	"repro/internal/dbi"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// Report is the outcome of one Nondeterminator-style check.
+type Report struct {
+	Races    []Race
+	Counters Counters
+	// ExitCode/Console are the guest program's observable results of the
+	// canonical serial execution.
+	ExitCode int64
+	Console  string
+	// Instructions retired during the serial execution.
+	Instructions uint64
+}
+
+// Check executes prog serially in depth-first order (the Nondeterminator's
+// execution model) with every memory access instrumented, and returns the
+// schedule-independent determinacy-race verdict.
+func Check(prog *isa.Program) (*Report, error) {
+	p, err := guest.NewProcess(vm.NewMachine(), prog)
+	if err != nil {
+		return nil, err
+	}
+	p.Policy = guest.SchedSerialDFS
+
+	d := New()
+	p.Hooks.ThreadStarted = func(t *guest.Thread, creator guest.TID) {
+		if creator != guest.NoTID {
+			d.OnFork(creator, t.ID)
+		}
+	}
+	p.Hooks.ThreadExited = func(t *guest.Thread) { d.OnExit(t.ID) }
+	p.Hooks.ThreadJoined = func(joiner guest.TID, child *guest.Thread) {
+		d.OnJoin(joiner, child.ID)
+	}
+
+	clock := &stats.Clock{}
+	costs := stats.DefaultCosts()
+	eng := dbi.New(p, nil, allAccesses{d}, clock, costs, dbi.DefaultConfig())
+	res, err := eng.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Report{
+		Races:        d.Races(),
+		Counters:     d.C,
+		ExitCode:     res.ExitCode,
+		Console:      res.Console,
+		Instructions: res.Counters.Instructions,
+	}, nil
+}
+
+// allAccesses instruments every memory-referencing instruction — the
+// Nondeterminator predates the Aikido optimization and checks everything.
+type allAccesses struct{ d *Detector }
+
+// Instrument implements dbi.Tool.
+func (a allAccesses) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
+	if !in.Op.IsMemRef() {
+		return nil
+	}
+	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		a.d.OnAccess(tid, pc, addr, size, write)
+		return addr
+	}}
+}

@@ -1,0 +1,91 @@
+package stm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// TestKernelReadsProtectedTxPage: the write syscall dereferences a user
+// buffer that an active transaction has protected. The guest kernel must
+// not crash — AikidoVM emulates the access (§3.2.6) through the provider
+// bus — and the console sees the *current in-place* bytes (the STM is
+// undo-log based; uncommitted data is in place until rolled back).
+func TestKernelReadsProtectedTxPage(t *testing.T) {
+	b := isa.NewBuilder("stm-kernel")
+	buf := b.Global(vm.PageSize, vm.PageSize)
+
+	// Fill buf[0..3] with "ABCD" pre-transaction.
+	b.MovImm(isa.R4, int64(buf))
+	b.MovImm(isa.R5, 0x44434241) // "ABCD" little-endian
+	b.StoreSized(4, isa.R4, 0, isa.R5)
+
+	// Open a transaction that writes the page (protecting it), then —
+	// still inside the transaction — ask the kernel to print the buffer.
+	b.TxBegin()
+	b.MovImm(isa.R5, 0x48474645) // "EFGH"
+	b.StoreSized(4, isa.R4, 0, isa.R5)
+	b.MovImm(isa.R0, int64(buf))
+	b.MovImm(isa.R1, 4)
+	b.Syscall(isa.SysWrite)
+	b.TxEnd()
+
+	b.MovImm(isa.R0, 0)
+	b.Syscall(isa.SysExit)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := New(prog, Config{Strong: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatalf("kernel access to tx-protected page crashed: %v", err)
+	}
+	if res.ExitCode != 0 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+	if !strings.Contains(res.Console, "EFGH") {
+		t.Errorf("console %q, want the in-place transactional bytes EFGH", res.Console)
+	}
+}
+
+// TestCommitMakesWritesDurable: after commit, non-transactional readers see
+// the new values with no faults or aborts.
+func TestCommitMakesWritesDurable(t *testing.T) {
+	b := isa.NewBuilder("stm-commit")
+	x := b.Global(vm.PageSize, vm.PageSize)
+	b.MovImm(isa.R4, int64(x))
+	b.TxBegin()
+	b.MovImm(isa.R5, 77)
+	b.Store(isa.R4, 0, isa.R5)
+	b.TxEnd()
+	b.LoadAbs(isa.R0, x) // plain read after commit
+	b.Syscall(isa.SysExit)
+	prog, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(prog, Config{Strong: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 77 {
+		t.Errorf("exit %d, want 77", res.ExitCode)
+	}
+	if res.C.Aborts != 0 || res.C.NonTxConflicts != 0 {
+		t.Errorf("spurious conflicts on the post-commit read: %v", res.C)
+	}
+	if res.C.Commits != 1 {
+		t.Errorf("commits = %d", res.C.Commits)
+	}
+}

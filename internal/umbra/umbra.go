@@ -1,0 +1,205 @@
+// Package umbra reimplements the Umbra shadow-memory framework (paper §2.2)
+// on the simulated guest address space.
+//
+// Umbra exploits the observation that a 64-bit address space is sparse: the
+// application populates a handful of dense regions (code, data, heap,
+// stacks, mmaps). Each region gets a shadow region and translation is a
+// region lookup plus an offset — no multi-level tables. Most lookups hit an
+// inlined per-thread memoization cache (the last region the thread
+// touched); misses fall back to a global region scan, mirroring Umbra's
+// layered caches.
+//
+// Aikido extends Umbra to map each application address to *two* shadows
+// (§3.3.1): analysis metadata (ShadowMap here) and the mirror page
+// (internal/mirror).
+package umbra
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/guest"
+	"repro/internal/stats"
+)
+
+// RegionID identifies one registered application region.
+type RegionID int32
+
+// Region is one densely-populated application region tracked by Umbra.
+type Region struct {
+	ID   RegionID
+	Base uint64
+	End  uint64
+	Kind guest.VMAKind
+}
+
+// Contains reports whether addr falls in the region.
+func (r *Region) Contains(addr uint64) bool { return addr >= r.Base && addr < r.End }
+
+// String describes the region.
+func (r *Region) String() string {
+	return fmt.Sprintf("region %d [%#x,%#x) %s", r.ID, r.Base, r.End, r.Kind)
+}
+
+// Stats counts translation cache behaviour (the dominant cost of shadow
+// value tools, §2.2).
+type Stats struct {
+	// InlineHits counts translations served by the per-thread inlined
+	// memoization cache.
+	InlineHits uint64
+	// GlobalLookups counts fallbacks to the region table scan.
+	GlobalLookups uint64
+	// Misses counts addresses in no registered region.
+	Misses uint64
+}
+
+// Umbra is the shadow-memory manager for one process.
+type Umbra struct {
+	regions []*Region // sorted by Base
+	byVMA   map[*guest.VMA]*Region
+	nextID  RegionID
+
+	// lastHit is the per-thread inlined memoization cache.
+	lastHit map[guest.TID]*Region
+
+	clock *stats.Clock
+	costs stats.CostModel
+
+	// removedListeners are notified when a region disappears so shadow
+	// maps can drop their cells.
+	removedListeners []func(*Region)
+
+	Stats Stats
+}
+
+// Attach creates an Umbra instance and registers it for the process's
+// address-space events (existing VMAs are replayed).
+func Attach(p *guest.Process, clock *stats.Clock, costs stats.CostModel) *Umbra {
+	u := &Umbra{
+		byVMA:   make(map[*guest.VMA]*Region),
+		lastHit: make(map[guest.TID]*Region),
+		clock:   clock,
+		costs:   costs,
+	}
+	p.AddVMAListener(u)
+	return u
+}
+
+// VMAAdded implements guest.VMAListener. Shadow and mirror regions are the
+// analysis runtime's own memory and get no shadow of their own.
+func (u *Umbra) VMAAdded(v *guest.VMA) {
+	if v.Kind == guest.VMAShadow || v.Kind == guest.VMAMirror {
+		return
+	}
+	u.nextID++
+	r := &Region{ID: u.nextID, Base: v.Base, End: v.End(), Kind: v.Kind}
+	u.byVMA[v] = r
+	i := sort.Search(len(u.regions), func(i int) bool { return u.regions[i].Base >= r.Base })
+	u.regions = append(u.regions, nil)
+	copy(u.regions[i+1:], u.regions[i:])
+	u.regions[i] = r
+}
+
+// VMARemoved implements guest.VMAListener.
+func (u *Umbra) VMARemoved(v *guest.VMA) {
+	r, ok := u.byVMA[v]
+	if !ok {
+		return
+	}
+	delete(u.byVMA, v)
+	for i, x := range u.regions {
+		if x == r {
+			u.regions = append(u.regions[:i], u.regions[i+1:]...)
+			break
+		}
+	}
+	for tid, hit := range u.lastHit {
+		if hit == r {
+			delete(u.lastHit, tid)
+		}
+	}
+	for _, f := range u.removedListeners {
+		f(r)
+	}
+}
+
+// OnRegionRemoved registers a callback fired when a region is dropped.
+func (u *Umbra) OnRegionRemoved(f func(*Region)) {
+	u.removedListeners = append(u.removedListeners, f)
+}
+
+// Regions returns the number of registered regions.
+func (u *Umbra) Regions() int { return len(u.regions) }
+
+// Translate resolves addr to its region and in-region offset, charging the
+// translation cost (inline-cache hit or global lookup). ok is false when
+// the address is in no registered region.
+func (u *Umbra) Translate(tid guest.TID, addr uint64) (*Region, uint64, bool) {
+	if r := u.lastHit[tid]; r != nil && r.Contains(addr) {
+		u.Stats.InlineHits++
+		u.clock.Charge(u.costs.ShadowTranslate)
+		return r, addr - r.Base, true
+	}
+	u.Stats.GlobalLookups++
+	u.clock.Charge(u.costs.ShadowTranslateMiss)
+	i := sort.Search(len(u.regions), func(i int) bool { return u.regions[i].End > addr })
+	if i < len(u.regions) && u.regions[i].Contains(addr) {
+		r := u.regions[i]
+		u.lastHit[tid] = r
+		return r, addr - r.Base, true
+	}
+	u.Stats.Misses++
+	return nil, 0, false
+}
+
+// ShadowMap stores one metadata cell of type T per granule bytes of
+// application memory, allocated lazily per region. It is Umbra's
+// "configurable bytes of application data → configurable bytes of shadow
+// metadata" mapping.
+type ShadowMap[T any] struct {
+	u       *Umbra
+	granule uint64
+	cells   map[RegionID][]T
+
+	// Allocations counts lazy region-shadow allocations.
+	Allocations uint64
+}
+
+// NewShadowMap creates a shadow mapping with the given application-byte
+// granule (e.g. 8 for FastTrack variables, vm.PageSize for page states).
+// Its region shadows are dropped automatically when regions are removed.
+func NewShadowMap[T any](u *Umbra, granule uint64) *ShadowMap[T] {
+	if granule == 0 {
+		panic("umbra: zero granule")
+	}
+	s := &ShadowMap[T]{u: u, granule: granule, cells: make(map[RegionID][]T)}
+	u.OnRegionRemoved(func(r *Region) { delete(s.cells, r.ID) })
+	return s
+}
+
+// Get returns the metadata cell for addr, translating through Umbra's
+// caches and allocating the region's shadow on first touch. It returns nil
+// when addr is outside every region.
+func (s *ShadowMap[T]) Get(tid guest.TID, addr uint64) *T {
+	r, off, ok := s.u.Translate(tid, addr)
+	if !ok {
+		return nil
+	}
+	c, ok := s.cells[r.ID]
+	if !ok {
+		n := (r.End - r.Base + s.granule - 1) / s.granule
+		c = make([]T, n)
+		s.cells[r.ID] = c
+		s.Allocations++
+	}
+	return &c[off/s.granule]
+}
+
+// ShadowBytes reports the total metadata cells allocated (footprint stats).
+func (s *ShadowMap[T]) ShadowBytes() uint64 {
+	var n uint64
+	for _, c := range s.cells {
+		n += uint64(len(c))
+	}
+	return n
+}

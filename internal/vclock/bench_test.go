@@ -1,0 +1,59 @@
+package vclock
+
+import "testing"
+
+func BenchmarkJoin(b *testing.B) {
+	x := VC{5, 3, 9, 1, 7, 2, 8, 4}
+	y := VC{1, 9, 2, 8, 3, 7, 4, 6}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		x = x.Join(y)
+	}
+}
+
+func BenchmarkHappensBefore(b *testing.B) {
+	v := VC{5, 3, 9, 1, 7, 2, 8, 4}
+	e := E(3, 1)
+	for i := 0; i < b.N; i++ {
+		if !HappensBefore(e, v) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkLeq(b *testing.B) {
+	x := VC{1, 2, 3, 4, 5, 6, 7, 8}
+	y := VC{2, 3, 4, 5, 6, 7, 8, 9}
+	for i := 0; i < b.N; i++ {
+		if !x.Leq(y) {
+			b.Fatal("unexpected")
+		}
+	}
+}
+
+func BenchmarkTick(b *testing.B) {
+	v := VC{1, 2, 3, 4}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		v = v.Tick(2)
+	}
+}
+
+// BenchmarkEpochVsVC quantifies FastTrack's core claim: the epoch
+// comparison is much cheaper than the full vector-clock comparison.
+func BenchmarkEpochVsVC(b *testing.B) {
+	v := VC{5, 3, 9, 1, 7, 2, 8, 4}
+	b.Run("epoch-compare", func(b *testing.B) {
+		e := E(3, 1)
+		for i := 0; i < b.N; i++ {
+			_ = HappensBefore(e, v)
+		}
+	})
+	b.Run("vc-compare", func(b *testing.B) {
+		var single VC
+		single = single.Set(3, 1)
+		for i := 0; i < b.N; i++ {
+			_ = single.Leq(v)
+		}
+	})
+}

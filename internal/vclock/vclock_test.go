@@ -1,0 +1,205 @@
+package vclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEpochPackUnpack(t *testing.T) {
+	e := E(7, 12345)
+	if e.TID() != 7 || e.Clock() != 12345 {
+		t.Errorf("E(7,12345) round trip: tid=%d clock=%d", e.TID(), e.Clock())
+	}
+	if None.TID() != 0 || None.Clock() != 0 {
+		t.Error("None is not 0@0")
+	}
+	if e.String() != "12345@7" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func TestEpochRoundTripProperty(t *testing.T) {
+	prop := func(tid int32, c uint32) bool {
+		if tid < 0 {
+			tid = -tid
+		}
+		e := E(TID(tid), Time(c))
+		return e.TID() == TID(tid) && e.Clock() == Time(c)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGetSetTick(t *testing.T) {
+	var v VC
+	if v.Get(5) != 0 {
+		t.Error("empty clock nonzero")
+	}
+	v = v.Set(3, 9)
+	if v.Get(3) != 9 || v.Get(2) != 0 {
+		t.Errorf("Set: %v", v)
+	}
+	v = v.Tick(3)
+	if v.Get(3) != 10 {
+		t.Errorf("Tick: %v", v)
+	}
+	v = v.Tick(8) // grows
+	if v.Get(8) != 1 {
+		t.Errorf("Tick growth: %v", v)
+	}
+}
+
+func TestJoinIsPointwiseMax(t *testing.T) {
+	a := VC{1, 5, 0, 2}
+	b := VC{3, 2, 7}
+	j := a.Copy().Join(b)
+	want := VC{3, 5, 7, 2}
+	for i := range want {
+		if j.Get(TID(i)) != want[i] {
+			t.Fatalf("Join = %v, want %v", j, want)
+		}
+	}
+}
+
+func TestJoinProperties(t *testing.T) {
+	// Join is commutative, idempotent, and an upper bound.
+	norm := func(xs []uint8) VC {
+		v := make(VC, len(xs))
+		for i, x := range xs {
+			v[i] = Time(x)
+		}
+		return v
+	}
+	comm := func(xs, ys []uint8) bool {
+		a, b := norm(xs), norm(ys)
+		ab := a.Copy().Join(b)
+		ba := b.Copy().Join(a)
+		for i := 0; i < len(ab) || i < len(ba); i++ {
+			if ab.Get(TID(i)) != ba.Get(TID(i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("join not commutative:", err)
+	}
+	idem := func(xs []uint8) bool {
+		a := norm(xs)
+		j := a.Copy().Join(a)
+		return j.Leq(a) && a.Leq(j)
+	}
+	if err := quick.Check(idem, nil); err != nil {
+		t.Error("join not idempotent:", err)
+	}
+	upper := func(xs, ys []uint8) bool {
+		a, b := norm(xs), norm(ys)
+		j := a.Copy().Join(b)
+		return a.Leq(j) && b.Leq(j)
+	}
+	if err := quick.Check(upper, nil); err != nil {
+		t.Error("join not an upper bound:", err)
+	}
+}
+
+func TestLeqPartialOrder(t *testing.T) {
+	a := VC{1, 2}
+	b := VC{2, 2}
+	if !a.Leq(b) || b.Leq(a) {
+		t.Error("Leq ordering wrong")
+	}
+	// Incomparable pair.
+	c := VC{3, 0}
+	if a.Leq(c) || c.Leq(a) {
+		t.Error("incomparable clocks ordered")
+	}
+	// Reflexive.
+	if !a.Leq(a) {
+		t.Error("Leq not reflexive")
+	}
+	// Longer-vs-shorter comparisons treat missing entries as zero.
+	d := VC{1, 2, 0, 0}
+	if !a.Leq(d) || !d.Leq(a) {
+		t.Error("trailing zeros change ordering")
+	}
+}
+
+func TestHappensBefore(t *testing.T) {
+	v := VC{0, 4, 2}
+	cases := []struct {
+		e    Epoch
+		want bool
+	}{
+		{E(1, 4), true},  // equal: ordered
+		{E(1, 5), false}, // ahead of v
+		{E(2, 1), true},
+		{E(9, 1), false}, // unknown thread, clock 1 > 0
+		{None, true},     // ⊥ before everything
+	}
+	for _, c := range cases {
+		if got := HappensBefore(c.e, v); got != c.want {
+			t.Errorf("HappensBefore(%v, %v) = %v, want %v", c.e, v, got, c.want)
+		}
+	}
+}
+
+func TestHappensBeforeMatchesLeqProperty(t *testing.T) {
+	// For single-entry clocks, epoch-HB must agree with full VC Leq —
+	// FastTrack's core compression claim.
+	prop := func(tid uint8, c uint8, xs []uint8) bool {
+		v := make(VC, len(xs))
+		for i, x := range xs {
+			v[i] = Time(x)
+		}
+		e := E(TID(tid), Time(c))
+		var single VC
+		single = single.Set(TID(tid), Time(c))
+		return HappensBefore(e, v) == single.Leq(v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochOf(t *testing.T) {
+	v := VC{}.Set(2, 7)
+	e := v.EpochOf(2)
+	if e.TID() != 2 || e.Clock() != 7 {
+		t.Errorf("EpochOf = %v", e)
+	}
+	if v.EpochOf(5) != E(5, 0) {
+		t.Error("EpochOf unknown thread != 0@t")
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := VC{1, 2, 3}
+	b := a.Copy()
+	b = b.Tick(0)
+	if a.Get(0) != 1 {
+		t.Error("Copy aliases original")
+	}
+}
+
+func TestTickMonotoneProperty(t *testing.T) {
+	prop := func(xs []uint8, tid uint8) bool {
+		v := make(VC, len(xs))
+		for i, x := range xs {
+			v[i] = Time(x)
+		}
+		before := v.Copy()
+		after := v.Copy().Tick(TID(tid))
+		return before.Leq(after) && !after.Leq(before)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringElidesZeros(t *testing.T) {
+	v := VC{0, 3, 0, 1}
+	if got := v.String(); got != "[1:3 3:1]" {
+		t.Errorf("String = %q", got)
+	}
+}

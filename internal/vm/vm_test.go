@@ -1,0 +1,140 @@
+package vm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocReadWrite(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	if f == NoFrame {
+		t.Fatal("allocated the invalid frame")
+	}
+	m.WriteU(f, 16, 8, 0x1122334455667788)
+	if got := m.ReadU(f, 16, 8); got != 0x1122334455667788 {
+		t.Errorf("ReadU = %#x", got)
+	}
+	// Little-endian byte order.
+	b := make([]byte, 2)
+	m.Read(f, 16, b)
+	if b[0] != 0x88 || b[1] != 0x77 {
+		t.Errorf("byte order wrong: % x", b)
+	}
+	// Partial-width read.
+	if got := m.ReadU(f, 16, 4); got != 0x55667788 {
+		t.Errorf("4-byte ReadU = %#x", got)
+	}
+}
+
+func TestFramesAreZeroed(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	for off := uint64(0); off < PageSize; off += 512 {
+		if v := m.ReadU(f, off, 8); v != 0 {
+			t.Fatalf("fresh frame nonzero at %d: %#x", off, v)
+		}
+	}
+}
+
+func TestFramesAreDistinct(t *testing.T) {
+	m := NewMachine()
+	a, b := m.AllocFrame(), m.AllocFrame()
+	m.WriteU(a, 0, 8, 1)
+	m.WriteU(b, 0, 8, 2)
+	if m.ReadU(a, 0, 8) != 1 || m.ReadU(b, 0, 8) != 2 {
+		t.Error("frames alias each other")
+	}
+}
+
+func TestFreeFrame(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	if m.Frames() != 1 {
+		t.Fatalf("Frames = %d, want 1", m.Frames())
+	}
+	m.FreeFrame(f)
+	if m.Frames() != 0 {
+		t.Fatalf("Frames = %d after free, want 0", m.Frames())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("double free did not panic")
+		}
+	}()
+	m.FreeFrame(f)
+}
+
+func TestAccessAfterFreePanics(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	m.FreeFrame(f)
+	defer func() {
+		if recover() == nil {
+			t.Error("use after free did not panic")
+		}
+	}()
+	m.ReadU(f, 0, 8)
+}
+
+func TestCrossBoundaryPanics(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	defer func() {
+		if recover() == nil {
+			t.Error("cross-boundary write did not panic")
+		}
+	}()
+	m.WriteU(f, PageSize-4, 8, 1)
+}
+
+func TestPageArithmetic(t *testing.T) {
+	if PageNum(0) != 0 || PageNum(PageSize-1) != 0 || PageNum(PageSize) != 1 {
+		t.Error("PageNum wrong at boundaries")
+	}
+	if PageBase(PageSize+5) != PageSize {
+		t.Error("PageBase wrong")
+	}
+	if PageOff(PageSize+5) != 5 {
+		t.Error("PageOff wrong")
+	}
+	if PagesSpanned(0, 0) != 0 {
+		t.Error("empty range spans pages")
+	}
+	if PagesSpanned(0, 1) != 1 || PagesSpanned(PageSize-1, 2) != 2 {
+		t.Error("PagesSpanned wrong")
+	}
+	if RoundUp(0) != 0 || RoundUp(1) != PageSize || RoundUp(PageSize) != PageSize {
+		t.Error("RoundUp wrong")
+	}
+}
+
+func TestReadWriteURoundTrip(t *testing.T) {
+	m := NewMachine()
+	f := m.AllocFrame()
+	prop := func(off uint16, v uint64, szSel uint8) bool {
+		sizes := []uint8{1, 2, 4, 8}
+		n := sizes[szSel%4]
+		o := uint64(off) % (PageSize - 8)
+		m.WriteU(f, o, n, v)
+		got := m.ReadU(f, o, n)
+		want := v
+		if n < 8 {
+			want = v & ((1 << (8 * n)) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageArithmeticProperties(t *testing.T) {
+	prop := func(addr uint64) bool {
+		return PageBase(addr)+PageOff(addr) == addr &&
+			PageNum(addr)*PageSize == PageBase(addr)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,222 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func small(threads int) Spec {
+	return Spec{
+		Name: "small", Threads: threads, Iters: 60,
+		AluOps: 3, PrivateOps: 4, PrivatePages: 2,
+		SharedOps: 2, SharedPeriod: 1, Locks: 2,
+	}
+}
+
+func TestBuildValidates(t *testing.T) {
+	bad := []Spec{
+		{Name: "nothreads", Iters: 1},
+		{Name: "noiters", Threads: 1},
+		{Name: "shared-noperiod", Threads: 1, Iters: 1, SharedOps: 1},
+		{Name: "mixed-noperiod", Threads: 1, Iters: 1, MixedOps: 1},
+		{Name: "racy-noperiod", Threads: 1, Iters: 1, RacyOps: 1},
+	}
+	for _, s := range bad {
+		if _, err := Build(s); err == nil {
+			t.Errorf("%s: Build accepted invalid spec", s.Name)
+		}
+	}
+	if _, err := Build(small(2)); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestRunsToCompletionAllModes(t *testing.T) {
+	prog, err := Build(small(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []core.Mode{core.ModeNative, core.ModeFastTrackFull, core.ModeAikidoFastTrack} {
+		res, err := core.Run(prog, core.DefaultConfig(mode))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.ExitCode != 0 {
+			t.Errorf("%v: exit %d", mode, res.ExitCode)
+		}
+	}
+}
+
+func TestLockedSharedOpsDoNotRace(t *testing.T) {
+	prog, err := Build(small(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Errorf("locked workload raced: %v", res.Races[:minI(3, len(res.Races))])
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRacyOpsRace(t *testing.T) {
+	s := small(2)
+	s.RacyOps = 2
+	s.RacyPeriod = 4
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) == 0 {
+		t.Error("racy ops produced no races under full FastTrack")
+	}
+}
+
+func TestSharedFractionMatchesPrediction(t *testing.T) {
+	// The measured Figure-6 metric should be close to the spec's
+	// analytic prediction once warmup is amortized.
+	s := Spec{
+		Name: "frac", Threads: 4, Iters: 800,
+		AluOps: 2, PrivateOps: 6, PrivatePages: 2,
+		SharedOps: 2, SharedPeriod: 1, Locks: 2,
+		MixedOps: 1, MixedPeriod: 4,
+	}
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.SharedAccessFraction()
+	want := s.ExpectedSharedFraction()
+	if math.Abs(got-want) > 0.05 {
+		t.Errorf("shared fraction = %.3f, predicted %.3f", got, want)
+	}
+}
+
+func TestMixedOpsInflateInstrumentedOverShared(t *testing.T) {
+	// Table 2 property: instrumented executions strictly exceed
+	// shared-page accesses when mixed instructions exist.
+	s := Spec{
+		Name: "mixed", Threads: 2, Iters: 400,
+		AluOps: 1, PrivateOps: 4, PrivatePages: 1,
+		MixedOps: 2, MixedPeriod: 8,
+	}
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SD.SharedPageAccesses == 0 {
+		t.Fatal("mixed ops never went shared")
+	}
+	if res.Engine.InstrumentedExecs <= res.SD.SharedPageAccesses {
+		t.Errorf("instrumented (%d) not > shared accesses (%d)",
+			res.Engine.InstrumentedExecs, res.SD.SharedPageAccesses)
+	}
+	if res.SD.PrivateChecked == 0 {
+		t.Error("no private-checked executions on mixed instructions")
+	}
+}
+
+func TestBarrierWorkloadCompletes(t *testing.T) {
+	s := small(4)
+	s.BarrierPeriod = 10
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Races) != 0 {
+		t.Errorf("barrier workload raced: %v", res.Races[:minI(3, len(res.Races))])
+	}
+}
+
+func TestThreadScaling(t *testing.T) {
+	// More threads => more total work and more contention-charged
+	// cycles per access in analysis modes.
+	for _, threads := range []int{1, 2, 4} {
+		prog, err := Build(small(threads))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+		if err != nil {
+			t.Fatalf("threads=%d: %v", threads, err)
+		}
+		if res.ExitCode != 0 {
+			t.Fatalf("threads=%d: exit %d", threads, res.ExitCode)
+		}
+	}
+}
+
+func TestPrivatePagesStayPrivate(t *testing.T) {
+	s := Spec{
+		Name: "privonly", Threads: 4, Iters: 200,
+		AluOps: 1, PrivateOps: 6, PrivatePages: 4,
+	}
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SD.SharedPageAccesses != 0 {
+		t.Errorf("private-only workload had %d shared accesses", res.SD.SharedPageAccesses)
+	}
+	if res.SD.PagesShared != 0 {
+		t.Errorf("private-only workload shared %d pages", res.SD.PagesShared)
+	}
+}
+
+func TestMemRefsPerIterPrediction(t *testing.T) {
+	s := Spec{
+		Name: "mr", Threads: 1, Iters: 1000,
+		PrivateOps: 3, PrivatePages: 1,
+		SharedOps: 2, SharedPeriod: 4,
+		MixedOps: 1, MixedPeriod: 2,
+		RacyOps: 1, RacyPeriod: 10,
+	}
+	want := 3 + 2.0/4 + 1 + 1.0/10
+	if got := s.MemRefsPerIter(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MemRefsPerIter = %v, want %v", got, want)
+	}
+	prog, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := float64(res.Engine.MemRefs) / 1000
+	// Main-thread overhead (spawn/join) adds a few refs; tolerance wide.
+	if math.Abs(perIter-want) > 0.2 {
+		t.Errorf("measured mem refs/iter = %.3f, want ≈ %.3f", perIter, want)
+	}
+}
