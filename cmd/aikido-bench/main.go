@@ -8,7 +8,13 @@
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
 //	              switch|providers|detectors|scaling|nondet|stm|crew]
-//	             [-scale F] [-threads N]
+//	             [-scale F] [-threads N] [-json FILE]
+//
+// With -json, the Figure 5 workload matrix runs once per (model, mode) with
+// wall-clock timing and a machine-readable report is written to FILE ("-"
+// for stdout). Checked-in snapshots follow the BENCH_<n>.json convention —
+// one per PR that claims a performance change — so the repository carries
+// its own perf trajectory.
 package main
 
 import (
@@ -23,10 +29,34 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
+	jsonOut := flag.String("json", "", "write a machine-readable bench report to this file (\"-\" = stdout) instead of running text experiments")
 	flag.Parse()
 
 	o := experiments.Options{Scale: *scale, Threads: *threads}
 	w := os.Stdout
+
+	if *jsonOut != "" {
+		rep, err := experiments.BenchJSON(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: json: %v\n", err)
+			os.Exit(1)
+		}
+		out := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.WriteBenchJSON(out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/parsec"
+	"repro/internal/workload"
+)
+
+// TestVarStoreEquivalence runs every PARSEC model under both detector
+// configurations against the two variable-metadata stores — the optimized
+// paged shadow table and the retained map-based reference — and demands
+// bit-identical results: same races, same detector counters, same engine
+// counters, same simulated cycle totals. This is the hard guarantee that
+// the hot-path data-structure overhaul changed performance only.
+func TestVarStoreEquivalence(t *testing.T) {
+	for _, bench := range parsec.All() {
+		bench := bench.WithScale(0.25)
+		prog, err := workload.Build(bench.Spec)
+		if err != nil {
+			t.Fatalf("%s: build: %v", bench.Name, err)
+		}
+		for _, mode := range []Mode{ModeFastTrackFull, ModeAikidoFastTrack} {
+			run := func(reference bool) *Result {
+				s, err := NewSystem(prog, DefaultConfig(mode))
+				if err != nil {
+					t.Fatalf("%s/%s: new system: %v", bench.Name, mode, err)
+				}
+				if reference {
+					s.FT.UseReferenceVarStore()
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatalf("%s/%s: run: %v", bench.Name, mode, err)
+				}
+				return res
+			}
+			paged, ref := run(false), run(true)
+
+			if paged.Cycles != ref.Cycles {
+				t.Errorf("%s/%s: cycles diverge: paged %d, reference %d",
+					bench.Name, mode, paged.Cycles, ref.Cycles)
+			}
+			if !reflect.DeepEqual(paged.Races, ref.Races) {
+				t.Errorf("%s/%s: races diverge:\npaged:     %v\nreference: %v",
+					bench.Name, mode, paged.Races, ref.Races)
+			}
+			if paged.FT != ref.FT {
+				t.Errorf("%s/%s: FastTrack counters diverge:\npaged:     %+v\nreference: %+v",
+					bench.Name, mode, paged.FT, ref.FT)
+			}
+			if paged.Engine != ref.Engine {
+				t.Errorf("%s/%s: engine counters diverge:\npaged:     %+v\nreference: %+v",
+					bench.Name, mode, paged.Engine, ref.Engine)
+			}
+			if paged.SD != ref.SD {
+				t.Errorf("%s/%s: sharing counters diverge:\npaged:     %+v\nreference: %+v",
+					bench.Name, mode, paged.SD, ref.SD)
+			}
+		}
+	}
+}

@@ -33,10 +33,15 @@ func (r *Recorder) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
 	if !in.Op.IsMemRef() {
 		return nil
 	}
-	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
-		r.access(tid, addr, write)
-		return addr
-	}}
+	return &dbi.Plan{
+		// Transition timestamps are per-thread instruction counts, so
+		// the engine must settle its batched accounting before the
+		// callback reads them.
+		NeedsExactCounts: true,
+		PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+			r.access(tid, addr, write)
+			return addr
+		}}
 }
 
 // access applies the CREW protocol for one access, logging transitions.

@@ -61,3 +61,35 @@ func BenchmarkBlockBuild(b *testing.B) {
 		e.lookup(1, pc)
 	}
 }
+
+// BenchmarkPipelineDispatch measures the engine's per-instruction cost on a
+// memory-heavy loop — block dispatch, the interpreter switch, the
+// devirtualized page-table walk, and batched retirement accounting.
+func BenchmarkPipelineDispatch(b *testing.B) {
+	bld := isa.NewBuilder("pipeline")
+	g := bld.GlobalU64(0)
+	bld.MovImm(isa.R1, int64(g))
+	bld.LoopN(isa.R2, 500, func(bld *isa.Builder) {
+		bld.Store(isa.R1, 0, isa.R3)
+		bld.Load(isa.R4, isa.R1, 0)
+		bld.Add(isa.R3, isa.R3, isa.R2)
+	})
+	bld.Halt()
+	prog := bld.MustFinish()
+
+	b.ReportAllocs()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		p, err := guest.NewProcess(vm.NewMachine(), prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		e := New(p, nil, nil, nil, stats.DefaultCosts(), DefaultConfig())
+		res, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Counters.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}

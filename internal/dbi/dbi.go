@@ -54,6 +54,13 @@ type Plan struct {
 	// PostAccess, if non-nil, runs after the access completes without
 	// faulting (used by the no-mirror ablation to reprotect pages).
 	PostAccess func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
+	// NeedsExactCounts declares that the plan's callbacks read engine or
+	// thread state that the interpreter batches between instructions
+	// (per-thread instruction counts, cycle totals). The engine then
+	// settles all pending accounting before invoking the callbacks. The
+	// CREW recorder/replayer sets it (transition timestamps are
+	// per-thread instruction counts); pure analysis tools don't need it.
+	NeedsExactCounts bool
 }
 
 // Tool decides instrumentation at block-build time. AikidoSD (wrapping a
@@ -112,7 +119,10 @@ type block struct {
 	start  isa.PC
 	instrs []isa.Instr
 	plans  []*Plan // parallel to instrs; nil = uninstrumented
-	end    isa.PC  // first PC past the block
+	// mem caches Op.IsMemRef per instruction: the classification is done
+	// once at build time instead of on every retired execution.
+	mem []bool
+	end isa.PC // first PC past the block
 	// next links the fall-through/jump successor once observed.
 	next *block
 	// execs counts executions for trace promotion; trace marks promotion.
@@ -176,8 +186,25 @@ type Engine struct {
 	// build on. Nil costs nothing.
 	OnRetire func(t *guest.Thread, pc isa.PC, in isa.Instr)
 
-	cache map[isa.PC]*block
-	C     Counters
+	// blocks is the code cache as a direct PC-indexed table: slot pc
+	// holds the block starting at pc (guest PCs are dense instruction
+	// indices, so the table is exact — dispatch is one bounds-checked
+	// load, with no hashing and no collisions). overflow catches blocks
+	// starting past the static code image (never hit by well-formed
+	// programs, kept for map-parity).
+	blocks   []*block
+	overflow map[isa.PC]*block
+	nblocks  int
+	// maxBlockLen is the longest block built so far; Flush only needs to
+	// scan start PCs within that window below the flushed PC.
+	maxBlockLen int
+
+	// directP, when non-nil, marks Mem as the built-in direct page-table
+	// walker: execMem calls it concretely instead of through the Memory
+	// interface.
+	directP *guest.Process
+
+	C Counters
 
 	prev      *block // last executed block, for linking
 	gateSpins uint64 // consecutive gate vetoes with no retirement
@@ -186,16 +213,21 @@ type Engine struct {
 // New creates an engine over a loaded process. mem may be nil, in which
 // case a direct guest-page-table walker is used (native runs).
 func New(p *guest.Process, mem Memory, tool Tool, clock *stats.Clock, costs stats.CostModel, cfg Config) *Engine {
+	e := &Engine{
+		P: p, Mem: mem, Tool: tool, Clock: clock, Costs: costs, Cfg: cfg,
+		blocks: make([]*block, len(p.Prog.Code)),
+	}
 	if mem == nil {
-		mem = directMemory{p}
+		// Native runs walk the guest page table directly; keeping the
+		// concrete type in directP lets execMem bypass the interface
+		// call on every access.
+		e.Mem = directMemory{p}
+		e.directP = p
 	}
 	if clock == nil {
-		clock = &stats.Clock{}
+		e.Clock = &stats.Clock{}
 	}
-	return &Engine{
-		P: p, Mem: mem, Tool: tool, Clock: clock, Costs: costs, Cfg: cfg,
-		cache: make(map[isa.PC]*block),
-	}
+	return e
 }
 
 // directMemory walks the guest page table with no hypervisor (native mode).
@@ -226,11 +258,34 @@ func (d directMemory) Store(_ guest.TID, addr uint64, size uint8, val uint64, _ 
 // fragments (a dangling link would keep dispatching the stale,
 // uninstrumented copy).
 func (e *Engine) Flush(pc isa.PC) int {
-	flushed := make(map[*block]bool)
-	for start, b := range e.cache {
+	// A block containing pc starts at most maxBlockLen-1 slots below pc,
+	// so only that window of the table needs scanning.
+	var flushed []*block
+	lo := 0
+	if e.maxBlockLen > 0 && int(pc) >= e.maxBlockLen {
+		lo = int(pc) - e.maxBlockLen + 1
+	}
+	hi := int(pc)
+	if last := len(e.blocks) - 1; hi > last {
+		hi = last
+	}
+	for start := lo; start <= hi; start++ {
+		b := e.blocks[start]
+		if b != nil && pc >= b.start && pc < b.end {
+			e.blocks[start] = nil
+			e.nblocks--
+			flushed = append(flushed, b)
+			if e.Cfg.ChargeDBI {
+				e.Clock.Charge(e.Costs.FlushBlock)
+			}
+			e.C.BlocksFlushed++
+		}
+	}
+	for start, b := range e.overflow {
 		if pc >= b.start && pc < b.end {
-			delete(e.cache, start)
-			flushed[b] = true
+			delete(e.overflow, start)
+			e.nblocks--
+			flushed = append(flushed, b)
 			if e.Cfg.ChargeDBI {
 				e.Clock.Charge(e.Costs.FlushBlock)
 			}
@@ -238,8 +293,23 @@ func (e *Engine) Flush(pc isa.PC) int {
 		}
 	}
 	if len(flushed) > 0 {
-		for _, b := range e.cache {
-			if flushed[b.next] {
+		// Sever every direct link into a flushed block, exactly as
+		// DynamoRIO unlinks deleted fragments.
+		dead := func(n *block) bool {
+			for _, f := range flushed {
+				if n == f {
+					return true
+				}
+			}
+			return false
+		}
+		for _, b := range e.blocks {
+			if b != nil && b.next != nil && dead(b.next) {
+				b.next = nil
+			}
+		}
+		for _, b := range e.overflow {
+			if b.next != nil && dead(b.next) {
 				b.next = nil
 			}
 		}
@@ -249,15 +319,27 @@ func (e *Engine) Flush(pc isa.PC) int {
 }
 
 // CacheSize returns the number of cached blocks (tests).
-func (e *Engine) CacheSize() int { return len(e.cache) }
+func (e *Engine) CacheSize() int { return e.nblocks }
 
 // lookup fetches or builds the block starting at pc.
 func (e *Engine) lookup(tid guest.TID, pc isa.PC) *block {
-	if b, ok := e.cache[pc]; ok {
+	if int(pc) < len(e.blocks) {
+		if b := e.blocks[pc]; b != nil {
+			return b
+		}
+	} else if b, ok := e.overflow[pc]; ok {
 		return b
 	}
 	b := e.build(tid, pc)
-	e.cache[pc] = b
+	if int(pc) < len(e.blocks) {
+		e.blocks[pc] = b
+	} else {
+		if e.overflow == nil {
+			e.overflow = make(map[isa.PC]*block)
+		}
+		e.overflow[pc] = b
+	}
+	e.nblocks++
 	return b
 }
 
@@ -280,6 +362,7 @@ func (e *Engine) build(tid guest.TID, pc isa.PC) *block {
 			plan = e.Tool.Instrument(cur, in)
 		}
 		b.plans = append(b.plans, plan)
+		b.mem = append(b.mem, in.Op.IsMemRef())
 		b.end = cur + 1
 		// Blocks end at control transfers and at instructions that may
 		// block or switch context (syscalls, locks), as in DynamoRIO.
@@ -297,6 +380,9 @@ func (e *Engine) build(tid guest.TID, pc isa.PC) *block {
 	}
 	if e.Cfg.ChargeDBI {
 		e.Clock.Charge(e.Costs.BuildBlockBase + e.Costs.BuildPerInstr*uint64(len(b.instrs)))
+	}
+	if len(b.instrs) > e.maxBlockLen {
+		e.maxBlockLen = len(b.instrs)
 	}
 	e.C.BlocksBuilt++
 	return b
@@ -404,32 +490,60 @@ func (e *Engine) dispatch(t *guest.Thread) *block {
 func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, error) {
 	p := e.P
 	idx := int(t.PC - b.start)
+	// Batched accounting: straight-line runs accumulate retired-
+	// instruction counts in locals and settle them in one step at every
+	// exit or interposition point, instead of updating four memory
+	// locations per instruction. Plans whose callbacks observe batched
+	// state (Gate bookkeeping, NeedsExactCounts) force a settle first.
+	bud := *budget
+	var pend, pendMem uint64
 	for idx < len(b.instrs) {
-		if *budget == 0 {
+		if bud == 0 {
+			e.settle(t, budget, bud, pend, pendMem)
 			return true, nil
 		}
-		in := b.instrs[idx]
+		// Instructions are read through a pointer into the (immutable
+		// after build) block body: the interpreter loop copies the
+		// fields it needs, not the whole struct, per retired
+		// instruction.
+		in := &b.instrs[idx]
 		pc := b.start + isa.PC(idx)
 
-		// Memory-referencing instructions may fault; handle first.
-		if in.Op.IsMemRef() {
-			outcome, err := e.execMem(t, pc, in, b.plans[idx])
+		// Memory-referencing instructions may fault; handle first. The
+		// classification was hoisted to block-build time (b.mem).
+		if b.mem[idx] {
+			plan := b.plans[idx]
+			if plan != nil && (plan.Gate != nil || plan.NeedsExactCounts) {
+				e.settle(t, budget, bud, pend, pendMem)
+				pend, pendMem = 0, 0
+			}
+			outcome, err := e.execMem(t, pc, in, plan)
 			if err != nil {
+				e.settle(t, budget, bud, pend, pendMem)
 				return true, err
 			}
 			switch outcome {
 			case memRetry:
 				// Fault + retry: the handler may have flushed this
 				// block; re-dispatch at the same PC.
+				e.settle(t, budget, bud, pend, pendMem)
 				return false, nil
 			case memYield:
 				// Gate veto: end the quantum without retiring; the
 				// instruction re-executes when the thread is next
 				// scheduled.
 				t.PC = pc
+				e.settle(t, budget, bud, pend, pendMem)
 				return true, nil
 			}
-			e.retire(t, budget, pc, in)
+			pend++
+			pendMem++
+			bud--
+			if e.OnRetire != nil {
+				e.settle(t, budget, bud, pend, pendMem)
+				pend, pendMem = 0, 0
+				e.observeRetire(t, pc, in)
+			}
 			idx++
 			t.PC = pc + 1
 			continue
@@ -467,11 +581,13 @@ func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, err
 			t.Regs[in.Rd] = t.Regs[in.Rs] >> (uint64(in.Imm) & 63)
 
 		case isa.Jmp:
-			e.retire(t, budget, pc, in)
+			e.settle(t, budget, bud, pend, pendMem)
+			e.retireEnd(t, budget, pc, in)
 			t.PC = in.Target
 			return false, nil
 		case isa.Br:
-			e.retire(t, budget, pc, in)
+			e.settle(t, budget, bud, pend, pendMem)
+			e.retireEnd(t, budget, pc, in)
 			if in.Cond.Eval(t.Regs[in.Rs], t.Regs[in.Rt]) {
 				t.PC = in.Target
 			} else {
@@ -479,7 +595,8 @@ func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, err
 			}
 			return false, nil
 		case isa.BrImm:
-			e.retire(t, budget, pc, in)
+			e.settle(t, budget, bud, pend, pendMem)
+			e.retireEnd(t, budget, pc, in)
 			if in.Cond.Eval(t.Regs[in.Rs], uint64(in.Imm)) {
 				t.PC = in.Target
 			} else {
@@ -489,23 +606,28 @@ func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, err
 
 		case isa.Lock:
 			// PC advances only once the lock is held; a blocked thread
-			// re-executes the Lock after the FIFO handoff.
+			// re-executes the Lock after the FIFO handoff. DoLock can
+			// block the thread (context-switch hooks), so pending
+			// accounting settles first.
+			e.settle(t, budget, bud, pend, pendMem)
 			if !p.DoLock(t, in.Imm) {
 				return true, nil
 			}
-			e.retire(t, budget, pc, in)
+			e.retireEnd(t, budget, pc, in)
 			t.PC = pc + 1
 			return false, nil
 		case isa.Unlock:
+			e.settle(t, budget, bud, pend, pendMem)
 			p.DoUnlock(t, in.Imm)
-			e.retire(t, budget, pc, in)
+			e.retireEnd(t, budget, pc, in)
 			t.PC = pc + 1
 			return false, nil
 
 		case isa.Syscall:
 			// PC advances before the syscall: blocked threads resume
 			// after it.
-			e.retire(t, budget, pc, in)
+			e.settle(t, budget, bud, pend, pendMem)
+			e.retireEnd(t, budget, pc, in)
 			t.PC = pc + 1
 			e.Clock.Charge(e.Costs.Syscall)
 			res, err := p.DoSyscall(t, in.Imm)
@@ -521,34 +643,72 @@ func (e *Engine) execBlock(t *guest.Thread, b *block, budget *uint64) (bool, err
 			return false, nil
 
 		case isa.Halt:
-			e.retire(t, budget, pc, in)
+			e.settle(t, budget, bud, pend, pendMem)
+			e.retireEnd(t, budget, pc, in)
 			p.ExitThread(t)
 			return true, nil
 
 		default:
+			e.settle(t, budget, bud, pend, pendMem)
 			return true, fmt.Errorf("dbi: thread %d pc %d: bad opcode %v", t.ID, pc, in.Op)
 		}
-		e.retire(t, budget, pc, in)
+		pend++
+		bud--
+		if e.OnRetire != nil {
+			e.settle(t, budget, bud, pend, pendMem)
+			pend, pendMem = 0, 0
+			e.observeRetire(t, pc, in)
+		}
 		idx++
 		t.PC = pc + 1
 	}
+	e.settle(t, budget, bud, pend, pendMem)
 	return false, nil
 }
 
-// retire accounts one retired instruction and fires the OnRetire observer.
-func (e *Engine) retire(t *guest.Thread, budget *uint64, pc isa.PC, in isa.Instr) {
+// settle writes back execBlock's batched accounting: the remaining budget
+// plus pend retired instructions (pendMem of them memory references). The
+// batch is equivalent to per-instruction updates because nothing between
+// two settle points reads the affected state — plans that do read it
+// declare NeedsExactCounts and force a settle first.
+func (e *Engine) settle(t *guest.Thread, budget *uint64, bud, pend, pendMem uint64) {
+	*budget = bud
+	if pend == 0 {
+		return
+	}
+	e.gateSpins = 0
+	t.Instructions += pend
+	e.C.Instructions += pend
+	e.C.MemRefs += pendMem
+	e.Clock.Charge(e.Costs.NativeInstr * pend)
+}
+
+// retire accounts one retired instruction. It is deliberately tiny so it
+// inlines; the budget decrement is unconditional because every call site
+// sits after the loop's budget check.
+func (e *Engine) retire(t *guest.Thread, budget *uint64) {
 	e.gateSpins = 0
 	t.Instructions++
 	e.C.Instructions++
-	if in.Op.IsMemRef() {
-		e.C.MemRefs++
-	}
 	e.Clock.Charge(e.Costs.NativeInstr)
-	if *budget > 0 {
-		*budget--
-	}
+	*budget--
+}
+
+// observeRetire fires the OnRetire hook (taint tracking and similar
+// register-dataflow tools); kept out of line because most runs have no
+// observer.
+//
+//go:noinline
+func (e *Engine) observeRetire(t *guest.Thread, pc isa.PC, in *isa.Instr) {
+	e.OnRetire(t, pc, *in)
+}
+
+// retireEnd is retire plus the observer hook, for block-ending instructions
+// (branches, locks, syscalls, halt) where one extra call doesn't matter.
+func (e *Engine) retireEnd(t *guest.Thread, budget *uint64, pc isa.PC, in *isa.Instr) {
+	e.retire(t, budget)
 	if e.OnRetire != nil {
-		e.OnRetire(t, pc, in)
+		e.observeRetire(t, pc, in)
 	}
 }
 
@@ -565,7 +725,10 @@ const (
 )
 
 // execMem executes one memory-referencing instruction.
-func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in isa.Instr, plan *Plan) (memOutcome, error) {
+func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in *isa.Instr, plan *Plan) (memOutcome, error) {
+	// Classify once; the opcode predicates would otherwise be re-evaluated
+	// up to four times per access.
+	write := in.Op.IsWrite()
 	// Effective address.
 	var addr uint64
 	if in.Op.IsDirect() {
@@ -573,7 +736,7 @@ func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in isa.Instr, plan *Plan) (
 	} else {
 		addr = t.Regs[in.Rs] + uint64(in.Imm)
 	}
-	if plan != nil && plan.Gate != nil && !plan.Gate(t.ID, pc, addr, in.Size, in.Op.IsWrite()) {
+	if plan != nil && plan.Gate != nil && !plan.Gate(t.ID, pc, addr, in.Size, write) {
 		e.gateSpins++
 		limit := e.Cfg.GateSpinLimit
 		if limit == 0 {
@@ -589,24 +752,31 @@ func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in isa.Instr, plan *Plan) (
 	target := addr
 	if plan != nil {
 		if plan.PreAccess != nil {
-			target = plan.PreAccess(t.ID, pc, addr, in.Size, in.Op.IsWrite())
+			target = plan.PreAccess(t.ID, pc, addr, in.Size, write)
 		}
 		e.C.InstrumentedExecs++
 	}
 
 	var fault *hypervisor.Fault
 	var val uint64
-	if in.Op.IsWrite() {
+	if dp := e.directP; dp != nil {
+		// Native path, devirtualized: page-table walk + frame access.
+		if write {
+			fault = directMemory{dp}.Store(t.ID, target, in.Size, t.Regs[in.Rt], true)
+		} else {
+			val, fault = directMemory{dp}.Load(t.ID, target, in.Size, true)
+		}
+	} else if write {
 		fault = e.Mem.Store(t.ID, target, in.Size, t.Regs[in.Rt], true)
 	} else {
 		val, fault = e.Mem.Load(t.ID, target, in.Size, true)
 	}
 	if fault == nil {
-		if !in.Op.IsWrite() {
+		if !write {
 			t.Regs[in.Rd] = val
 		}
 		if plan != nil && plan.PostAccess != nil {
-			plan.PostAccess(t.ID, pc, addr, in.Size, in.Op.IsWrite())
+			plan.PostAccess(t.ID, pc, addr, in.Size, write)
 		}
 		return memRetired, nil
 	}
@@ -617,7 +787,7 @@ func (e *Engine) execMem(t *guest.Thread, pc isa.PC, in isa.Instr, plan *Plan) (
 	if e.OnFault == nil {
 		return memRetry, fmt.Errorf("dbi: thread %d pc %d: unhandled %v", t.ID, pc, fault)
 	}
-	switch e.OnFault(t, pc, in, fault) {
+	switch e.OnFault(t, pc, *in, fault) {
 	case FaultRetry:
 		e.C.Retries++
 		t.PC = pc // re-execute (block may have been flushed)

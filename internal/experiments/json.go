@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parsec"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// BenchRecord is one (model, mode) measurement in a machine-readable bench
+// report: simulator wall-clock plus the paper's simulated metrics.
+type BenchRecord struct {
+	Name      string  `json:"name"`       // PARSEC model
+	Mode      string  `json:"mode"`       // "FastTrack" or "Aikido"
+	WallNS    int64   `json:"wall_ns"`    // simulator wall-clock for one run
+	Cycles    uint64  `json:"cycles"`     // simulated cycles
+	SlowdownX float64 `json:"slowdown_x"` // vs native (Figure 5 metric)
+	SharedPct float64 `json:"shared_pct"` // shared-access % (Figure 6 metric)
+	Races     int     `json:"races"`      // reported races
+}
+
+// BenchReport is the document emitted by `aikido-bench -json`. Checked-in
+// snapshots follow the BENCH_<n>.json convention (one per PR that claims a
+// performance change), giving the repository a perf trajectory.
+type BenchReport struct {
+	Schema           string        `json:"schema"` // "aikido-bench/v1"
+	Scale            float64       `json:"scale"`
+	GeomeanFastTrack float64       `json:"geomean_fasttrack_slowdown_x"`
+	GeomeanAikido    float64       `json:"geomean_aikido_slowdown_x"`
+	Records          []BenchRecord `json:"records"`
+}
+
+// BenchJSON runs the Figure 5 workload matrix once per (model, mode) with
+// wall-clock timing and returns the machine-readable report.
+func BenchJSON(o Options) (*BenchReport, error) {
+	o = o.normalize()
+	rep := &BenchReport{Schema: "aikido-bench/v1", Scale: o.Scale}
+	var ftS, aftS []float64
+	for _, b := range parsec.All() {
+		b = b.WithScale(o.Scale)
+		if o.Threads > 0 {
+			b = b.WithThreads(o.Threads)
+		}
+		prog, err := workload.Build(b.Spec)
+		if err != nil {
+			return nil, err
+		}
+		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []struct {
+			m     core.Mode
+			label string
+		}{
+			{core.ModeFastTrackFull, "FastTrack"},
+			{core.ModeAikidoFastTrack, "Aikido"},
+		} {
+			start := time.Now()
+			res, err := core.Run(prog, core.DefaultConfig(mode.m))
+			if err != nil {
+				return nil, err
+			}
+			wall := time.Since(start)
+			slow := res.Slowdown(native)
+			rep.Records = append(rep.Records, BenchRecord{
+				Name:      b.Name,
+				Mode:      mode.label,
+				WallNS:    wall.Nanoseconds(),
+				Cycles:    res.Cycles,
+				SlowdownX: slow,
+				SharedPct: 100 * res.SharedAccessFraction(),
+				Races:     len(res.Races),
+			})
+			if mode.m == core.ModeFastTrackFull {
+				ftS = append(ftS, slow)
+			} else {
+				aftS = append(aftS, slow)
+			}
+		}
+	}
+	rep.GeomeanFastTrack = stats.Geomean(ftS)
+	rep.GeomeanAikido = stats.Geomean(aftS)
+	return rep, nil
+}
+
+// WriteBenchJSON renders the report as indented JSON.
+func WriteBenchJSON(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -82,14 +82,19 @@ func (r Race) String() string {
 
 // varState is the per-variable (8-byte block) metadata: FastTrack's W epoch
 // and adaptive R representation (epoch, or vector clock when reads are
-// concurrent).
+// concurrent). It is deliberately pointer-free: the paged store allocates
+// chunks of inline varStates, and keeping them noscan means the GC never
+// walks shadow metadata. The rare read vector clock therefore lives in the
+// detector's rvcs arena, referenced by index (0 = none).
 type varState struct {
-	w   vclock.Epoch
-	r   vclock.Epoch
-	rvc vclock.VC // non-nil ⇒ read vector clock in use (r ignored)
+	w vclock.Epoch
+	r vclock.Epoch
 	// PCs of the last write and last read, for race reports.
 	wpc isa.PC
 	rpc isa.PC
+	// rvcIdx ≠ 0 ⇒ read vector clock in use (r ignored): the VC is
+	// Detector.rvcs[rvcIdx].
+	rvcIdx int32
 }
 
 // Counters describes detector behaviour (FastTrack's fast/slow path claims
@@ -124,10 +129,18 @@ type Detector struct {
 	clock *stats.Clock
 	costs stats.CostModel
 
-	threads map[vclock.TID]vclock.VC
+	// threads is a dense slice indexed by the (small) TID: the per-access
+	// clock fetch is a bounds-checked load, not a map probe.
+	threads []vclock.VC
 	locks   map[int64]vclock.VC
-	vars    map[uint64]*varState
+	vars    varStore
 	bars    map[int64]*barrier
+
+	// rvcs is the read-vector-clock arena: varStates reference entries by
+	// index so the shadow chunks themselves stay pointer-free. Slot 0 is
+	// reserved as "no VC"; freed slots are recycled through freeRvcs.
+	rvcs     []vclock.VC
+	freeRvcs []int32
 
 	races []Race
 	seen  map[raceKey]struct{}
@@ -158,37 +171,72 @@ func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 	return &Detector{
 		clock:    clock,
 		costs:    costs,
-		threads:  make(map[vclock.TID]vclock.VC),
 		locks:    make(map[int64]vclock.VC),
-		vars:     make(map[uint64]*varState),
+		vars:     newPagedVarStore(),
 		bars:     make(map[int64]*barrier),
 		seen:     make(map[raceKey]struct{}),
+		rvcs:     make([]vclock.VC, 1), // slot 0 = "no read VC"
 		MaxRaces: 1000,
 	}
+}
+
+// newRvc stores v in the arena and returns its index.
+func (d *Detector) newRvc(v vclock.VC) int32 {
+	if n := len(d.freeRvcs); n > 0 {
+		idx := d.freeRvcs[n-1]
+		d.freeRvcs = d.freeRvcs[:n-1]
+		d.rvcs[idx] = v
+		return idx
+	}
+	d.rvcs = append(d.rvcs, v)
+	return int32(len(d.rvcs) - 1)
+}
+
+// dropRvc releases arena slot idx for reuse.
+func (d *Detector) dropRvc(idx int32) {
+	d.rvcs[idx] = nil
+	d.freeRvcs = append(d.freeRvcs, idx)
+}
+
+// UseReferenceVarStore swaps the paged shadow table for the retained
+// map-based reference implementation. Equivalence tests call it on a fresh
+// detector and assert that whole-program results are identical; it must be
+// called before any access is processed.
+func (d *Detector) UseReferenceVarStore() {
+	if d.C.Reads+d.C.Writes != 0 {
+		panic("fasttrack: UseReferenceVarStore after accesses were processed")
+	}
+	d.vars = newMapVarStore()
 }
 
 // tvc returns thread t's vector clock, initializing a new thread at clock 1
 // (FastTrack initializes C_t = ⊥[t := 1]).
 func (d *Detector) tvc(t vclock.TID) vclock.VC {
-	v, ok := d.threads[t]
-	if !ok {
-		v = vclock.VC{}.Set(t, 1)
-		d.threads[t] = v
+	if int(t) < len(d.threads) {
+		if v := d.threads[t]; v != nil {
+			return v
+		}
 	}
+	v := vclock.VC{}.Set(t, 1)
+	d.setTVC(t, v)
 	return v
 }
 
-func (d *Detector) setTVC(t vclock.TID, v vclock.VC) { d.threads[t] = v }
+func (d *Detector) setTVC(t vclock.TID, v vclock.VC) {
+	if int(t) >= len(d.threads) {
+		nt := make([]vclock.VC, int(t)+1)
+		copy(nt, d.threads)
+		d.threads = nt
+	}
+	d.threads[t] = v
+}
 
-// variable returns the metadata block for addr, materializing it on first
+// variable returns the metadata cell for block, materializing it on first
 // touch (lazy, as Aikido requires: "metadata is not maintained for memory"
 // until needed).
-func (d *Detector) variable(addr uint64) *varState {
-	b := BlockAddr(addr)
-	vs, ok := d.vars[b]
-	if !ok {
-		vs = &varState{}
-		d.vars[b] = vs
+func (d *Detector) variable(block uint64) *varState {
+	vs, fresh := d.vars.lookup(block)
+	if fresh {
 		d.C.Variables++
 	}
 	return vs
@@ -290,16 +338,18 @@ func (d *Detector) write(t vclock.TID, pc isa.PC, block uint64) {
 			PriorTID: vs.w.TID(), PriorPC: vs.wpc, CurrentTID: t, CurrentPC: pc})
 	}
 	// Read-write check: against the read epoch or the whole read VC.
-	if vs.rvc != nil {
+	if vs.rvcIdx != 0 {
 		d.C.SlowPath++
 		d.clock.Charge(d.costs.AnalysisSlow)
-		if !vs.rvc.Leq(ct) {
+		rvc := d.rvcs[vs.rvcIdx]
+		if !rvc.Leq(ct) {
 			d.report(Race{Addr: block, Kind: ReadWrite,
-				PriorTID: d.someConcurrentReader(vs.rvc, ct), PriorPC: vs.rpc,
+				PriorTID: d.someConcurrentReader(rvc, ct), PriorPC: vs.rpc,
 				CurrentTID: t, CurrentPC: pc})
 		}
 		// WRITE SHARED: reads collapse back to exclusive tracking.
-		vs.rvc = nil
+		d.dropRvc(vs.rvcIdx)
+		vs.rvcIdx = 0
 		vs.r = vclock.None
 	} else {
 		d.C.OrderedEpoch++
@@ -321,12 +371,12 @@ func (d *Detector) read(t vclock.TID, pc isa.PC, block uint64) {
 	e := ct.EpochOf(t)
 
 	// READ SAME EPOCH.
-	if vs.r == e && vs.rvc == nil {
+	if vs.r == e && vs.rvcIdx == 0 {
 		d.C.SameEpoch++
 		d.clock.Charge(d.costs.AnalysisFast)
 		return
 	}
-	if vs.rvc != nil && vs.rvc.Get(t) == ct.Get(t) {
+	if vs.rvcIdx != 0 && d.rvcs[vs.rvcIdx].Get(t) == ct.Get(t) {
 		d.C.SameEpoch++
 		d.clock.Charge(d.costs.AnalysisFast)
 		return
@@ -339,11 +389,11 @@ func (d *Detector) read(t vclock.TID, pc isa.PC, block uint64) {
 	}
 
 	switch {
-	case vs.rvc != nil:
+	case vs.rvcIdx != 0:
 		// READ SHARED: update this thread's slot in the read VC.
 		d.C.SlowPath++
 		d.clock.Charge(d.costs.AnalysisSlow)
-		vs.rvc = vs.rvc.Set(t, ct.Get(t))
+		d.rvcs[vs.rvcIdx] = d.rvcs[vs.rvcIdx].Set(t, ct.Get(t))
 	case vs.r == vclock.None || vclock.HappensBefore(vs.r, ct):
 		// READ EXCLUSIVE: the previous read is ordered before us.
 		d.C.OrderedEpoch++
@@ -356,7 +406,7 @@ func (d *Detector) read(t vclock.TID, pc isa.PC, block uint64) {
 		d.clock.Charge(d.costs.AnalysisSlow)
 		rvc := vclock.VC{}.Set(vs.r.TID(), vs.r.Clock())
 		rvc = rvc.Set(t, ct.Get(t))
-		vs.rvc = rvc
+		vs.rvcIdx = d.newRvc(rvc)
 		vs.r = vclock.None
 	}
 	vs.rpc = pc

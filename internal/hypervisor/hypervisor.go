@@ -44,10 +44,69 @@ type pageProt struct {
 	override map[guest.TID]pagetable.Prot
 }
 
-// shadowPTE is one cached translation in a thread's shadow page table.
+// shadowPTE is one cached translation in a thread's shadow page table. A
+// zero frame (vm.NoFrame) marks an empty slot: fills always carry a real
+// guest frame.
 type shadowPTE struct {
 	frame vm.FrameID
 	prot  pagetable.Prot // effective = guest prot ∩ Aikido prot
+}
+
+// Shadow tables chunk the sparse VPN space exactly like pagetable.Table:
+// aligned spans of inline entries behind a one-entry last-chunk cache, so
+// the TLB-hit path of Translate is two bounds-checked loads and an index —
+// no map probes.
+const (
+	shadowChunkBits = 9
+	shadowChunkLen  = 1 << shadowChunkBits
+)
+
+// shadowChunk holds one aligned 2 MiB span of a thread's shadow table.
+type shadowChunk [shadowChunkLen]shadowPTE
+
+// shadowTable is one thread's shadow page table (ShadowPaging) or TLB +
+// cached EPT view (NestedPaging).
+type shadowTable struct {
+	chunks  map[uint64]*shadowChunk
+	lastKey uint64
+	last    *shadowChunk
+}
+
+// lookup returns the cached entry for vpn, if any.
+func (s *shadowTable) lookup(vpn uint64) (shadowPTE, bool) {
+	key := vpn >> shadowChunkBits
+	c := s.last
+	if c == nil || key != s.lastKey {
+		c = s.chunks[key]
+		if c == nil {
+			return shadowPTE{}, false
+		}
+		s.lastKey, s.last = key, c
+	}
+	e := c[vpn&(shadowChunkLen-1)]
+	return e, e.frame != vm.NoFrame
+}
+
+// set installs the entry for vpn.
+func (s *shadowTable) set(vpn uint64, e shadowPTE) {
+	key := vpn >> shadowChunkBits
+	c := s.last
+	if c == nil || key != s.lastKey {
+		c = s.chunks[key]
+		if c == nil {
+			c = new(shadowChunk)
+			s.chunks[key] = c
+		}
+		s.lastKey, s.last = key, c
+	}
+	c[vpn&(shadowChunkLen-1)] = e
+}
+
+// drop clears the entry for vpn.
+func (s *shadowTable) drop(vpn uint64) {
+	if c := s.chunks[vpn>>shadowChunkBits]; c != nil {
+		c[vpn&(shadowChunkLen-1)] = shadowPTE{}
+	}
 }
 
 // Stats are AikidoVM's event counters.
@@ -91,10 +150,10 @@ type Hypervisor struct {
 	mode       PagingMode
 	switchMode SwitchInterception
 
-	// shadow is the per-thread translation cache: the shadow page table
-	// under ShadowPaging, the TLB + cached EPT-view entries under
-	// NestedPaging. Populated lazily either way.
-	shadow map[guest.TID]map[uint64]shadowPTE
+	// shadow is the per-thread translation cache, indexed by the (small)
+	// TID: the shadow page table under ShadowPaging, the TLB + cached
+	// EPT-view entries under NestedPaging. Populated lazily either way.
+	shadow []*shadowTable
 	// cachedBy is the reverse map: vpn → threads whose shadow table
 	// caches a translation for it.
 	cachedBy map[uint64]map[guest.TID]struct{}
@@ -138,7 +197,6 @@ func New(m *vm.Machine, pt *pagetable.Table) *Hypervisor {
 	h := &Hypervisor{
 		m:          m,
 		pt:         pt,
-		shadow:     make(map[guest.TID]map[uint64]shadowPTE),
 		cachedBy:   make(map[uint64]map[guest.TID]struct{}),
 		prot:       make(map[uint64]*pageProt),
 		protFrame:  make(map[vm.FrameID]*pageProt),
@@ -199,10 +257,20 @@ func (h *Hypervisor) PTEUpdated(vpn uint64, old, new pagetable.PTE) {
 	h.invalidate(vpn)
 }
 
+// shadowOf returns tid's shadow table, or nil if none exists yet.
+func (h *Hypervisor) shadowOf(tid guest.TID) *shadowTable {
+	if uint32(tid) < uint32(len(h.shadow)) {
+		return h.shadow[tid]
+	}
+	return nil
+}
+
 // invalidate drops vpn from every shadow table caching it.
 func (h *Hypervisor) invalidate(vpn uint64) {
 	for tid := range h.cachedBy[vpn] {
-		delete(h.shadow[tid], vpn)
+		if st := h.shadowOf(tid); st != nil {
+			st.drop(vpn)
+		}
 		h.Stats.ShadowInvalidations++
 	}
 	delete(h.cachedBy, vpn)
@@ -279,13 +347,15 @@ func (h *Hypervisor) Translate(tid guest.TID, addr uint64, a pagetable.Access, u
 	vpn := vm.PageNum(addr)
 
 	// Fast path: shadow table (hardware TLB analogue).
-	if spte, ok := h.shadow[tid][vpn]; ok && user {
-		if spte.prot.Allows(a, true) {
-			h.Stats.TLBHits++
-			return spte.frame, vm.PageOff(addr), nil
+	if st := h.shadowOf(tid); st != nil && user {
+		if spte, ok := st.lookup(vpn); ok {
+			if spte.prot.Allows(a, true) {
+				h.Stats.TLBHits++
+				return spte.frame, vm.PageOff(addr), nil
+			}
+			// Cached entry denies: fall through to the slow path,
+			// which classifies the fault.
 		}
-		// Cached entry denies: fall through to the slow path, which
-		// classifies the fault.
 	}
 
 	// Guest page-table walk (kernel-mode check first: is the access
@@ -338,12 +408,17 @@ func (h *Hypervisor) Translate(tid guest.TID, addr uint64, a pagetable.Access, u
 	// this is a hidden fault filling the thread's shadow page table;
 	// under nested paging it is a TLB miss paying the two-dimensional
 	// (guest + EPT) walk.
-	st := h.shadow[tid]
+	st := h.shadowOf(tid)
 	if st == nil {
-		st = make(map[uint64]shadowPTE)
+		if int(tid) >= len(h.shadow) {
+			ns := make([]*shadowTable, int(tid)+1)
+			copy(ns, h.shadow)
+			h.shadow = ns
+		}
+		st = &shadowTable{chunks: make(map[uint64]*shadowChunk)}
 		h.shadow[tid] = st
 	}
-	st[vpn] = shadowPTE{frame: gpte.Frame, prot: eff}
+	st.set(vpn, shadowPTE{frame: gpte.Frame, prot: eff})
 	cb := h.cachedBy[vpn]
 	if cb == nil {
 		cb = make(map[guest.TID]struct{})

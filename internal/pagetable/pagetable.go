@@ -105,9 +105,27 @@ type Listener interface {
 	PTEUpdated(vpn uint64, old, new PTE)
 }
 
+// Chunking of the VPN space: the guest address space is sparse (code,
+// data, heap, mmap, and stacks sit at widely separated bases), but each
+// populated area is dense, so the table stores aligned chunks of inline
+// PTEs keyed by the high VPN bits — a walk is a chunk fetch (usually served
+// by the one-entry last-chunk cache) plus an index, not a map probe per
+// page. A PTE with Frame == vm.NoFrame marks an unmapped slot: Map rejects
+// NoFrame, so the zero value can never alias a real mapping.
+const (
+	chunkBits = 9 // 512 pages = 2 MiB of guest address space per chunk
+	chunkLen  = 1 << chunkBits
+)
+
+// ptChunk holds the entries for one aligned 2 MiB span of page numbers.
+type ptChunk [chunkLen]PTE
+
 // Table is one guest page table (one per guest process).
 type Table struct {
-	entries  map[uint64]PTE
+	chunks   map[uint64]*ptChunk
+	lastKey  uint64
+	last     *ptChunk
+	mapped   int
 	listener Listener
 
 	// Updates counts mutations; each one would cost a hypervisor trap in
@@ -117,16 +135,39 @@ type Table struct {
 
 // New returns an empty page table.
 func New() *Table {
-	return &Table{entries: make(map[uint64]PTE)}
+	return &Table{chunks: make(map[uint64]*ptChunk)}
 }
 
 // SetListener installs the mutation observer (at most one; the hypervisor).
 func (t *Table) SetListener(l Listener) { t.listener = l }
 
+// chunk returns the chunk covering vpn through the last-chunk cache,
+// allocating it when alloc is set; nil when absent and alloc is false.
+func (t *Table) chunk(vpn uint64, alloc bool) *ptChunk {
+	key := vpn >> chunkBits
+	if c := t.last; c != nil && key == t.lastKey {
+		return c
+	}
+	c := t.chunks[key]
+	if c == nil {
+		if !alloc {
+			return nil
+		}
+		c = new(ptChunk)
+		t.chunks[key] = c
+	}
+	t.lastKey, t.last = key, c
+	return c
+}
+
 // Lookup returns the entry for vpn.
 func (t *Table) Lookup(vpn uint64) (PTE, bool) {
-	e, ok := t.entries[vpn]
-	return e, ok
+	c := t.chunk(vpn, false)
+	if c == nil {
+		return PTE{}, false
+	}
+	pte := c[vpn&(chunkLen-1)]
+	return pte, pte.Frame != vm.NoFrame
 }
 
 // Map installs a mapping for vpn. Remapping an existing vpn is allowed (it
@@ -135,9 +176,13 @@ func (t *Table) Map(vpn uint64, frame vm.FrameID, prot Prot) {
 	if frame == vm.NoFrame {
 		panic(fmt.Sprintf("pagetable: mapping vpn %#x to the invalid frame", vpn))
 	}
-	old := t.entries[vpn]
+	c := t.chunk(vpn, true)
+	old := c[vpn&(chunkLen-1)]
+	if old.Frame == vm.NoFrame {
+		t.mapped++
+	}
 	pte := PTE{Frame: frame, Prot: prot}
-	t.entries[vpn] = pte
+	c[vpn&(chunkLen-1)] = pte
 	t.Updates++
 	if t.listener != nil {
 		t.listener.PTEUpdated(vpn, old, pte)
@@ -146,11 +191,16 @@ func (t *Table) Map(vpn uint64, frame vm.FrameID, prot Prot) {
 
 // Unmap removes the mapping for vpn, returning the old entry.
 func (t *Table) Unmap(vpn uint64) (PTE, bool) {
-	old, ok := t.entries[vpn]
-	if !ok {
+	c := t.chunk(vpn, false)
+	if c == nil {
 		return PTE{}, false
 	}
-	delete(t.entries, vpn)
+	old := c[vpn&(chunkLen-1)]
+	if old.Frame == vm.NoFrame {
+		return PTE{}, false
+	}
+	c[vpn&(chunkLen-1)] = PTE{}
+	t.mapped--
 	t.Updates++
 	if t.listener != nil {
 		t.listener.PTEUpdated(vpn, old, PTE{})
@@ -161,12 +211,16 @@ func (t *Table) Unmap(vpn uint64) (PTE, bool) {
 // SetProt changes the protection of an existing mapping. It reports whether
 // the vpn was mapped.
 func (t *Table) SetProt(vpn uint64, prot Prot) bool {
-	old, ok := t.entries[vpn]
-	if !ok {
+	c := t.chunk(vpn, false)
+	if c == nil {
+		return false
+	}
+	old := c[vpn&(chunkLen-1)]
+	if old.Frame == vm.NoFrame {
 		return false
 	}
 	pte := PTE{Frame: old.Frame, Prot: prot}
-	t.entries[vpn] = pte
+	c[vpn&(chunkLen-1)] = pte
 	t.Updates++
 	if t.listener != nil {
 		t.listener.PTEUpdated(vpn, old, pte)
@@ -175,15 +229,19 @@ func (t *Table) SetProt(vpn uint64, prot Prot) bool {
 }
 
 // Len returns the number of mapped pages.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return t.mapped }
 
 // VPNs returns all mapped virtual page numbers in ascending order. Used by
 // the hypervisor to build a fresh shadow table for a new thread and by the
 // sharing detector to protect "all mapped pages" at startup (§3.3.2).
 func (t *Table) VPNs() []uint64 {
-	out := make([]uint64, 0, len(t.entries))
-	for vpn := range t.entries {
-		out = append(out, vpn)
+	out := make([]uint64, 0, t.mapped)
+	for key, c := range t.chunks {
+		for i, pte := range c {
+			if pte.Frame != vm.NoFrame {
+				out = append(out, key<<chunkBits|uint64(i))
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -193,8 +251,12 @@ func (t *Table) VPNs() []uint64 {
 // the PTE. A nil *Fault means the access is permitted.
 func (t *Table) Walk(addr uint64, a Access, user bool) (PTE, *Fault) {
 	vpn := vm.PageNum(addr)
-	pte, ok := t.entries[vpn]
-	if !ok {
+	c := t.chunk(vpn, false)
+	if c == nil {
+		return PTE{}, &Fault{Addr: addr, Access: a, Unmapped: true}
+	}
+	pte := c[vpn&(chunkLen-1)]
+	if pte.Frame == vm.NoFrame {
 		return PTE{}, &Fault{Addr: addr, Access: a, Unmapped: true}
 	}
 	if !pte.Prot.Allows(a, user) {

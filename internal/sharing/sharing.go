@@ -117,8 +117,12 @@ type Detector struct {
 	um   *umbra.Umbra
 	mir  *mirror.Manager
 
-	pages        *umbra.ShadowMap[pageInfo]
-	instrumented map[isa.PC]struct{}
+	pages *umbra.ShadowMap[pageInfo]
+	// instrumented is a bitmap keyed by code-cache PC (PCs are dense
+	// instruction indices): the membership test on the fault path and at
+	// block-build time is a shift+mask, not a map probe.
+	instrumented []uint64
+	ninstr       int
 	analysis     Analysis
 
 	// flush is wired to the DBI engine's Flush (SetEngine).
@@ -154,7 +158,7 @@ func Attach(p *guest.Process, prov Provider, um *umbra.Umbra,
 	d := &Detector{
 		p: p, prov: prov, um: um, mir: mir,
 		pages:        umbra.NewShadowMap[pageInfo](um, vm.PageSize),
-		instrumented: make(map[isa.PC]struct{}),
+		instrumented: make([]uint64, (len(p.Prog.Code)+63)/64),
 		analysis:     analysis,
 		clock:        clock,
 		costs:        costs,
@@ -246,7 +250,13 @@ func (d *Detector) PageStateOf(addr uint64) (PageState, guest.TID) {
 func (d *Detector) SharedPages() uint64 { return d.C.PagesShared }
 
 // InstrumentedPCs returns the number of distinct instrumented instructions.
-func (d *Detector) InstrumentedPCs() int { return len(d.instrumented) }
+func (d *Detector) InstrumentedPCs() int { return d.ninstr }
+
+// isInstrumented tests the PC bitmap.
+func (d *Detector) isInstrumented(pc isa.PC) bool {
+	w := int(pc >> 6)
+	return w < len(d.instrumented) && d.instrumented[w]&(1<<(pc&63)) != 0
+}
 
 // HandleFault is the master-signal-handler continuation for Aikido faults
 // (wired as dbi.Engine.OnFault by the system assembly, §3.4). It performs
@@ -307,10 +317,16 @@ func (d *Detector) HandleFault(t *guest.Thread, pc isa.PC, in isa.Instr, f *hype
 // instrument marks pc as accessing shared data and flushes its cached
 // blocks so the next execution is re-JITed with instrumentation (§3.3.2).
 func (d *Detector) instrument(pc isa.PC) {
-	if _, ok := d.instrumented[pc]; ok {
+	if d.isInstrumented(pc) {
 		return
 	}
-	d.instrumented[pc] = struct{}{}
+	if w := int(pc >> 6); w >= len(d.instrumented) {
+		nb := make([]uint64, w+1)
+		copy(nb, d.instrumented)
+		d.instrumented = nb
+	}
+	d.instrumented[pc>>6] |= 1 << (pc & 63)
+	d.ninstr++
 	d.C.InstrumentedPCs++
 	if d.flush != nil {
 		d.flush(pc)
@@ -323,7 +339,7 @@ func (d *Detector) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
 	if !in.Op.IsMemRef() {
 		return nil
 	}
-	if _, ok := d.instrumented[pc]; !ok {
+	if !d.isInstrumented(pc) {
 		return nil
 	}
 	direct := in.Op.IsDirect()

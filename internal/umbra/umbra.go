@@ -53,14 +53,22 @@ type Stats struct {
 	Misses uint64
 }
 
+// lastHitSlots sizes the fixed per-thread memoization array. Guest TIDs are
+// small sequential integers; anything past the array (never seen in
+// practice) spills to a lazily allocated map with identical semantics.
+const lastHitSlots = 64
+
 // Umbra is the shadow-memory manager for one process.
 type Umbra struct {
 	regions []*Region // sorted by Base
 	byVMA   map[*guest.VMA]*Region
 	nextID  RegionID
 
-	// lastHit is the per-thread inlined memoization cache.
-	lastHit map[guest.TID]*Region
+	// lastHit is the per-thread inlined memoization cache: a fixed array
+	// indexed by TID — one bounds-checked load on the translation fast
+	// path, no map hash. lastHitHi spills TIDs ≥ lastHitSlots.
+	lastHit   [lastHitSlots]*Region
+	lastHitHi map[guest.TID]*Region
 
 	clock *stats.Clock
 	costs stats.CostModel
@@ -76,10 +84,9 @@ type Umbra struct {
 // address-space events (existing VMAs are replayed).
 func Attach(p *guest.Process, clock *stats.Clock, costs stats.CostModel) *Umbra {
 	u := &Umbra{
-		byVMA:   make(map[*guest.VMA]*Region),
-		lastHit: make(map[guest.TID]*Region),
-		clock:   clock,
-		costs:   costs,
+		byVMA: make(map[*guest.VMA]*Region),
+		clock: clock,
+		costs: costs,
 	}
 	p.AddVMAListener(u)
 	return u
@@ -113,9 +120,14 @@ func (u *Umbra) VMARemoved(v *guest.VMA) {
 			break
 		}
 	}
-	for tid, hit := range u.lastHit {
+	for i, hit := range u.lastHit {
 		if hit == r {
-			delete(u.lastHit, tid)
+			u.lastHit[i] = nil
+		}
+	}
+	for tid, hit := range u.lastHitHi {
+		if hit == r {
+			delete(u.lastHitHi, tid)
 		}
 	}
 	for _, f := range u.removedListeners {
@@ -135,7 +147,13 @@ func (u *Umbra) Regions() int { return len(u.regions) }
 // translation cost (inline-cache hit or global lookup). ok is false when
 // the address is in no registered region.
 func (u *Umbra) Translate(tid guest.TID, addr uint64) (*Region, uint64, bool) {
-	if r := u.lastHit[tid]; r != nil && r.Contains(addr) {
+	var r *Region
+	if uint32(tid) < lastHitSlots {
+		r = u.lastHit[tid]
+	} else {
+		r = u.lastHitHi[tid]
+	}
+	if r != nil && r.Contains(addr) {
 		u.Stats.InlineHits++
 		u.clock.Charge(u.costs.ShadowTranslate)
 		return r, addr - r.Base, true
@@ -145,7 +163,14 @@ func (u *Umbra) Translate(tid guest.TID, addr uint64) (*Region, uint64, bool) {
 	i := sort.Search(len(u.regions), func(i int) bool { return u.regions[i].End > addr })
 	if i < len(u.regions) && u.regions[i].Contains(addr) {
 		r := u.regions[i]
-		u.lastHit[tid] = r
+		if uint32(tid) < lastHitSlots {
+			u.lastHit[tid] = r
+		} else {
+			if u.lastHitHi == nil {
+				u.lastHitHi = make(map[guest.TID]*Region)
+			}
+			u.lastHitHi[tid] = r
+		}
 		return r, addr - r.Base, true
 	}
 	u.Stats.Misses++
@@ -159,7 +184,10 @@ func (u *Umbra) Translate(tid guest.TID, addr uint64) (*Region, uint64, bool) {
 type ShadowMap[T any] struct {
 	u       *Umbra
 	granule uint64
-	cells   map[RegionID][]T
+	// cells is indexed directly by RegionID (IDs are small sequential
+	// integers): the per-access cell lookup is one bounds-checked load
+	// instead of a map probe. A nil inner slice means not yet allocated.
+	cells [][]T
 
 	// Allocations counts lazy region-shadow allocations.
 	Allocations uint64
@@ -172,8 +200,12 @@ func NewShadowMap[T any](u *Umbra, granule uint64) *ShadowMap[T] {
 	if granule == 0 {
 		panic("umbra: zero granule")
 	}
-	s := &ShadowMap[T]{u: u, granule: granule, cells: make(map[RegionID][]T)}
-	u.OnRegionRemoved(func(r *Region) { delete(s.cells, r.ID) })
+	s := &ShadowMap[T]{u: u, granule: granule}
+	u.OnRegionRemoved(func(r *Region) {
+		if int(r.ID) < len(s.cells) {
+			s.cells[r.ID] = nil
+		}
+	})
 	return s
 }
 
@@ -185,11 +217,17 @@ func (s *ShadowMap[T]) Get(tid guest.TID, addr uint64) *T {
 	if !ok {
 		return nil
 	}
-	c, ok := s.cells[r.ID]
-	if !ok {
+	id := int(r.ID)
+	if id >= len(s.cells) {
+		nc := make([][]T, id+1)
+		copy(nc, s.cells)
+		s.cells = nc
+	}
+	c := s.cells[id]
+	if c == nil {
 		n := (r.End - r.Base + s.granule - 1) / s.granule
 		c = make([]T, n)
-		s.cells[r.ID] = c
+		s.cells[id] = c
 		s.Allocations++
 	}
 	return &c[off/s.granule]

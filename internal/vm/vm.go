@@ -33,8 +33,12 @@ type Frame [PageSize]byte
 // It is not safe for concurrent use; the simulator is single-goroutine by
 // design (determinism is a core requirement, see DESIGN.md §5).
 type Machine struct {
-	frames map[FrameID]*Frame
-	next   FrameID
+	// frames is indexed directly by FrameID: IDs are allocated
+	// sequentially and never reused, so the per-access frame resolution is
+	// one bounds-checked load instead of a map probe. Slot 0 (NoFrame) is
+	// permanently nil; freed frames leave nil holes.
+	frames []*Frame
+	live   int
 
 	// AllocCount counts frame allocations, for memory-footprint stats.
 	AllocCount uint64
@@ -42,14 +46,14 @@ type Machine struct {
 
 // NewMachine returns an empty physical memory.
 func NewMachine() *Machine {
-	return &Machine{frames: make(map[FrameID]*Frame), next: 1}
+	return &Machine{frames: make([]*Frame, 1, 64)}
 }
 
 // AllocFrame allocates a zeroed physical frame.
 func (m *Machine) AllocFrame() FrameID {
-	id := m.next
-	m.next++
-	m.frames[id] = new(Frame)
+	id := FrameID(len(m.frames))
+	m.frames = append(m.frames, new(Frame))
+	m.live++
 	m.AllocCount++
 	return id
 }
@@ -57,23 +61,25 @@ func (m *Machine) AllocFrame() FrameID {
 // FreeFrame releases a frame. Freeing NoFrame or an unknown frame is a
 // simulator bug and panics.
 func (m *Machine) FreeFrame(id FrameID) {
-	if _, ok := m.frames[id]; !ok {
+	if id == NoFrame || uint64(id) >= uint64(len(m.frames)) || m.frames[id] == nil {
 		panic(fmt.Sprintf("vm: free of invalid frame %d", id))
 	}
-	delete(m.frames, id)
+	m.frames[id] = nil
+	m.live--
 }
 
 // Frames returns the number of live frames.
-func (m *Machine) Frames() int { return len(m.frames) }
+func (m *Machine) Frames() int { return m.live }
 
 // frame returns the backing array, panicking on invalid frames: callers are
 // the hypervisor/loader, which must never hold stale frame handles.
 func (m *Machine) frame(id FrameID) *Frame {
-	f, ok := m.frames[id]
-	if !ok {
-		panic(fmt.Sprintf("vm: access to invalid frame %d", id))
+	if uint64(id) < uint64(len(m.frames)) {
+		if f := m.frames[id]; f != nil {
+			return f
+		}
 	}
-	return f
+	panic(fmt.Sprintf("vm: access to invalid frame %d", id))
 }
 
 // Read copies len(dst) bytes starting at off within frame id.
