@@ -15,6 +15,8 @@
 package repro_test
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -25,6 +27,7 @@ import (
 	"repro/internal/memcheck"
 	"repro/internal/parsec"
 	"repro/internal/provider"
+	"repro/internal/runner"
 	"repro/internal/spbags"
 	"repro/internal/stm"
 	"repro/internal/workload"
@@ -70,6 +73,61 @@ func BenchmarkFigure5(b *testing.B) {
 		b.Run(bench.Name+"/Aikido", func(b *testing.B) {
 			res := runMode(b, bench, core.ModeAikidoFastTrack)
 			b.ReportMetric(res.Slowdown(native), "slowdown-x")
+		})
+	}
+}
+
+// matrixSpecs is the full Figure 5 model×mode matrix (every PARSEC model
+// under native, FastTrack-full and Aikido-FastTrack) as runner cells.
+func matrixSpecs(scale float64) []runner.Spec {
+	var specs []runner.Spec
+	for _, bench := range parsec.All() {
+		bench = bench.WithScale(scale)
+		for _, m := range []core.Mode{core.ModeNative, core.ModeFastTrackFull, core.ModeAikidoFastTrack} {
+			specs = append(specs, runner.Spec{
+				Label:    bench.Name + "/" + m.String(),
+				Workload: bench.Spec,
+				Config:   core.DefaultConfig(m),
+			})
+		}
+	}
+	return specs
+}
+
+// BenchmarkMatrix measures the wall-clock of the complete model×mode sweep
+// through the concurrent runner at increasing pool sizes. The reported
+// speedup-x metric is the sequential (workers=1) wall-clock divided by
+// this pool size's: near-linear up to min(workers, cores) because cells
+// are fully isolated (no shared shadow state, no locks on the measurement
+// path). The simulated results are byte-identical at every pool size —
+// TestSweepByteIdenticalAcrossWorkers in internal/runner enforces it.
+func BenchmarkMatrix(b *testing.B) {
+	specs := matrixSpecs(benchScale)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	// The workers=1 sub-benchmark runs first and its own timing is the
+	// sequential reference for the later pool sizes' speedup-x metric
+	// (reported only when the sequential leg ran, i.e. not under a
+	// -bench filter that skips it).
+	var seqNsOp float64
+	for _, workers := range counts {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := runner.Sweep(specs, runner.Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			nsOp := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			if workers == 1 {
+				seqNsOp = nsOp
+			}
+			if seqNsOp > 0 {
+				b.ReportMetric(seqNsOp/nsOp, "speedup-x")
+			}
+			b.ReportMetric(float64(len(specs)), "cells")
 		})
 	}
 }

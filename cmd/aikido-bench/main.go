@@ -8,19 +8,30 @@
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
 //	              switch|providers|detectors|scaling|nondet|stm|crew]
-//	             [-scale F] [-threads N] [-json FILE]
+//	             [-scale F] [-threads N] [-workers N] [-json FILE]
+//	             [-deterministic]
+//
+// Every model×mode experiment matrix is sharded across -workers concurrent
+// runner workers (default: all CPUs); results are identical at any worker
+// count. The nondet, stm and crew extensions run their own engines
+// (SP-bags, the STM, CREW record/replay) sequentially and ignore -workers.
 //
 // With -json, the Figure 5 workload matrix runs once per (model, mode) with
 // wall-clock timing and a machine-readable report is written to FILE ("-"
 // for stdout). Checked-in snapshots follow the BENCH_<n>.json convention —
 // one per PR that claims a performance change — so the repository carries
-// its own perf trajectory.
+// its own perf trajectory; take snapshots with -workers 1, since per-cell
+// wall_ns is inflated by contention when cells run concurrently (see
+// docs/benchmarking.md). -deterministic zeroes the report's wall_ns fields
+// so the bytes depend only on simulated metrics; CI uses it to diff
+// -workers 1 against -workers 8.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/experiments"
 )
@@ -29,10 +40,12 @@ func main() {
 	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
+	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
 	jsonOut := flag.String("json", "", "write a machine-readable bench report to this file (\"-\" = stdout) instead of running text experiments")
+	det := flag.Bool("deterministic", false, "zero wall_ns in the -json report so output bytes depend only on simulated metrics")
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Threads: *threads}
+	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers, Deterministic: *det}
 	w := os.Stdout
 
 	if *jsonOut != "" {

@@ -1,29 +1,35 @@
-// Command aikido-run executes one PARSEC benchmark model under a chosen
-// detector configuration and prints the run's statistics and race reports.
+// Command aikido-run executes one PARSEC benchmark model — or, with
+// -bench all, every model concurrently — under a chosen detector
+// configuration and prints the run's statistics and race reports.
 //
 // Usage:
 //
-//	aikido-run [-bench NAME] [-mode native|dbi|fasttrack|aikido|profile]
+//	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
 //	           [-analysis fasttrack|lockset|sampled|atomicity|commgraph]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
-//	           [-threads N] [-scale F] [-races] [-list]
+//	           [-threads N] [-scale F] [-workers N] [-races] [-list]
+//
+// All execution goes through the concurrent runner (internal/runner):
+// -bench all shards the ten models across -workers pool workers, and the
+// printed statistics are identical at any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/hypervisor"
 	"repro/internal/parsec"
 	"repro/internal/provider"
-	"repro/internal/workload"
+	"repro/internal/runner"
 )
 
 func main() {
-	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list)")
+	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list), or \"all\" to sweep every model")
 	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
 	analysis := flag.String("analysis", "fasttrack", "fasttrack, lockset, sampled, atomicity, commgraph")
 	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
@@ -31,6 +37,7 @@ func main() {
 	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
 	threads := flag.Int("threads", 0, "worker threads (0 = benchmark default)")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
+	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for -bench all (results are identical at any value)")
 	races := flag.Bool("races", false, "print every detected race/violation")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	flag.Parse()
@@ -91,31 +98,79 @@ func main() {
 		os.Exit(2)
 	}
 
-	b, err := parsec.ByName(*bench)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-		os.Exit(2)
-	}
-	b = b.WithScale(*scale)
-	if *threads > 0 {
-		b = b.WithThreads(*threads)
-	}
-	prog, err := workload.Build(b.Spec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-		os.Exit(1)
-	}
-
 	cfg := core.DefaultConfig(m)
 	cfg.Analysis = an
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
-	res, err := core.Run(prog, cfg)
+
+	size := func(b parsec.Benchmark) parsec.Benchmark {
+		b = b.WithScale(*scale)
+		if *threads > 0 {
+			b = b.WithThreads(*threads)
+		}
+		return b
+	}
+
+	if *bench == "all" {
+		var specs []runner.Spec
+		for _, b := range parsec.All() {
+			b = size(b)
+			specs = append(specs, runner.Spec{Label: b.Name, Workload: b.Spec, Config: cfg})
+		}
+		rep, err := runner.Sweep(specs, runner.Options{Workers: *workers})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+			os.Exit(1)
+		}
+		// findings spans every analysis kind: FastTrack races, LockSet
+		// warnings, atomicity violations.
+		findings := func(res *core.Result) int {
+			return len(res.Races) + len(res.Warnings) + len(res.Violations)
+		}
+		fmt.Printf("mode %s, scale %.2f, %d runner workers\n", m, *scale, rep.Workers)
+		fmt.Printf("%-15s %14s %14s %14s %14s %9s %9s\n",
+			"benchmark", "cycles", "instructions", "mem refs", "instrumented", "shared%", "findings")
+		total := 0
+		for _, c := range rep.Cells {
+			res := c.Res
+			fmt.Printf("%-15s %14d %14d %14d %14d %8.2f%% %9d\n",
+				c.Spec.Label, res.Cycles, res.Engine.Instructions, res.Engine.MemRefs,
+				res.Engine.InstrumentedExecs, 100*res.SharedAccessFraction(), findings(res))
+			total += findings(res)
+		}
+		t := rep.Totals
+		fmt.Printf("%-15s %14d %14d %14d %14d %9s %9d\n",
+			"total", t.Cycles, t.Instructions, t.MemRefs, t.InstrumentedExecs, "", total)
+		if *races {
+			for _, c := range rep.Cells {
+				for _, r := range c.Res.Races {
+					fmt.Printf("%s: %v\n", c.Spec.Label, r)
+				}
+				for _, w := range c.Res.Warnings {
+					fmt.Printf("%s: %v\n", c.Spec.Label, w)
+				}
+				for _, v := range c.Res.Violations {
+					fmt.Printf("%s: %v\n", c.Spec.Label, v)
+				}
+			}
+		}
+		return
+	}
+
+	b, err := parsec.ByName(*bench)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		os.Exit(2)
+	}
+	b = size(b)
+	rep, err := runner.Sweep([]runner.Spec{{Label: b.Name, Workload: b.Spec, Config: cfg}},
+		runner.Options{Workers: 1})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
 		os.Exit(1)
 	}
+	res := rep.Cells[0].Res
 
 	fmt.Printf("benchmark        %s (%d worker threads, scale %.2f)\n", b.Name, b.Spec.Threads, *scale)
 	fmt.Printf("mode             %s\n", res.Mode)

@@ -456,6 +456,13 @@ func Run(prog *isa.Program, cfg Config) (*Result, error) {
 	return s.Run()
 }
 
+// TallyCounters implements stats.RunCounters, exposing the aggregate
+// counters the concurrent runner's per-worker tallies sum over.
+func (r *Result) TallyCounters() (cycles, instructions, memRefs, instrumented, shared, races uint64) {
+	return r.Cycles, r.Engine.Instructions, r.Engine.MemRefs,
+		r.Engine.InstrumentedExecs, r.SD.SharedPageAccesses, uint64(len(r.Races))
+}
+
 // SharedAccessFraction is Figure 6's metric: the fraction of all memory-
 // referencing instruction executions that targeted shared pages.
 func (r *Result) SharedAccessFraction() float64 {

@@ -3,8 +3,12 @@
 // Figure 6 (shared-access fractions), Table 1 (thread-count sweep), and
 // Table 2 (instrumentation statistics), plus ablations beyond the paper.
 //
-// Each experiment returns structured rows (for tests and benchmarks) and
-// can render itself as text (for cmd/aikido-bench and EXPERIMENTS.md).
+// Each experiment builds its model×mode matrix as runner cells, shards
+// them across the concurrent runner's worker pool (Options.Workers), and
+// reconciles rows in canonical matrix order — so results are identical
+// for any worker count. Each experiment returns structured rows (for
+// tests and benchmarks) and can render itself as text (for
+// cmd/aikido-bench and EXPERIMENTS.md).
 package experiments
 
 import (
@@ -13,8 +17,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/parsec"
+	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // Options configures a harness run.
@@ -24,6 +28,13 @@ type Options struct {
 	Scale float64
 	// Threads overrides the worker count (0 = benchmark default, 8).
 	Threads int
+	// Workers is the runner pool size for the experiment sweep
+	// (0 = runtime.NumCPU()). Results are identical at any value.
+	Workers int
+	// Deterministic zeroes wall-clock fields in machine-readable reports
+	// so the bytes depend only on simulated metrics. The CI equivalence
+	// leg uses this to diff -workers 1 against -workers 8.
+	Deterministic bool
 }
 
 // DefaultOptions is the full-size harness configuration.
@@ -36,28 +47,50 @@ func (o Options) normalize() Options {
 	return o
 }
 
-// runModes executes the benchmark under native, FastTrack-full and
-// Aikido-FastTrack configurations.
-func runModes(b parsec.Benchmark, o Options) (native, ft, aft *core.Result, err error) {
-	o = o.normalize()
+// apply resizes a benchmark model per the options.
+func (o Options) apply(b parsec.Benchmark) parsec.Benchmark {
 	b = b.WithScale(o.Scale)
 	if o.Threads > 0 {
 		b = b.WithThreads(o.Threads)
 	}
-	prog, err := workload.Build(b.Spec)
+	return b
+}
+
+// sweep shards the cells across the configured worker pool and returns
+// the measurements in cell order.
+func (o Options) sweep(specs []runner.Spec) ([]runner.Measurement, error) {
+	rep, err := runner.Sweep(specs, runner.Options{Workers: o.Workers})
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("%s: %w", b.Name, err)
+		return nil, err
 	}
-	if native, err = core.Run(prog, core.DefaultConfig(core.ModeNative)); err != nil {
-		return nil, nil, nil, fmt.Errorf("%s native: %w", b.Name, err)
+	return rep.Cells, nil
+}
+
+// cell is one matrix entry: benchmark b under cfg.
+func cell(b parsec.Benchmark, label string, cfg core.Config) runner.Spec {
+	return runner.Spec{Label: b.Name + "/" + label, Workload: b.Spec, Config: cfg}
+}
+
+// sweepModes are the columns of every slowdown experiment, in
+// reconciliation order: the native baseline first, then the detectors.
+// Callers index cell strides by len(sweepModes), so adding a mode here
+// keeps every reconciliation aligned.
+var sweepModes = []struct {
+	label string
+	mode  core.Mode
+}{
+	{"native", core.ModeNative},
+	{"FastTrack", core.ModeFastTrackFull},
+	{"Aikido", core.ModeAikidoFastTrack},
+}
+
+// modeCells returns one cell per sweep mode for benchmark b.
+func modeCells(b parsec.Benchmark) []runner.Spec {
+	specs := make([]runner.Spec, len(sweepModes))
+	for i, m := range sweepModes {
+		specs[i] = cell(b, m.label, core.DefaultConfig(m.mode))
 	}
-	if ft, err = core.Run(prog, core.DefaultConfig(core.ModeFastTrackFull)); err != nil {
-		return nil, nil, nil, fmt.Errorf("%s fasttrack: %w", b.Name, err)
-	}
-	if aft, err = core.Run(prog, core.DefaultConfig(core.ModeAikidoFastTrack)); err != nil {
-		return nil, nil, nil, fmt.Errorf("%s aikido: %w", b.Name, err)
-	}
-	return native, ft, aft, nil
+	return specs
 }
 
 // --- Figure 5 --------------------------------------------------------------
@@ -75,13 +108,21 @@ type Fig5Row struct {
 // Figure5 measures the slowdown of FastTrack and Aikido-FastTrack over
 // native for every benchmark, plus the geomean row.
 func Figure5(o Options) ([]Fig5Row, error) {
+	o = o.normalize()
+	benches := parsec.All()
+	var specs []runner.Spec
+	for _, b := range benches {
+		specs = append(specs, modeCells(o.apply(b))...)
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig5Row
 	var ftS, aftS []float64
-	for _, b := range parsec.All() {
-		native, ft, aft, err := runModes(b, o)
-		if err != nil {
-			return nil, err
-		}
+	stride := len(sweepModes)
+	for i, b := range benches {
+		native, ft, aft := cells[stride*i].Res, cells[stride*i+1].Res, cells[stride*i+2].Res
 		r := Fig5Row{
 			Name:        b.Name,
 			FastTrack:   ft.Slowdown(native),
@@ -125,15 +166,21 @@ type Fig6Row struct {
 // Figure6 measures the fraction of memory accesses that target shared
 // pages under Aikido.
 func Figure6(o Options) ([]Fig6Row, error) {
+	o = o.normalize()
+	benches := parsec.All()
+	var specs []runner.Spec
+	for _, b := range benches {
+		specs = append(specs, cell(o.apply(b), "Aikido", core.DefaultConfig(core.ModeAikidoFastTrack)))
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig6Row
-	for _, b := range parsec.All() {
-		_, _, aft, err := runModes(b, o)
-		if err != nil {
-			return nil, err
-		}
+	for i, b := range benches {
 		rows = append(rows, Fig6Row{
 			Name:     b.Name,
-			Measured: aft.SharedAccessFraction(),
+			Measured: cells[i].Res.SharedAccessFraction(),
 			Paper:    b.Paper.SharedFrac(),
 		})
 	}
@@ -162,32 +209,46 @@ type Table1Cell struct {
 	PaperAikido    float64
 }
 
+// table1Sweep is Table 1's matrix shape: fluidanimate and vips over
+// 2/4/8 threads, as in the paper.
+var table1Sweep = struct {
+	names   []string
+	threads []int
+}{[]string{"fluidanimate", "vips"}, []int{2, 4, 8}}
+
 // Table1 sweeps fluidanimate and vips over 2/4/8 threads, as in the paper.
 func Table1(o Options) ([]Table1Cell, error) {
-	var cells []Table1Cell
-	for _, name := range []string{"fluidanimate", "vips"} {
+	o = o.normalize()
+	var specs []runner.Spec
+	var shape []Table1Cell
+	for _, name := range table1Sweep.names {
 		b, err := parsec.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, threads := range []int{2, 4, 8} {
+		for _, threads := range table1Sweep.threads {
 			opt := o
 			opt.Threads = threads
-			native, ft, aft, err := runModes(b, opt)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, Table1Cell{
+			specs = append(specs, modeCells(opt.apply(b))...)
+			shape = append(shape, Table1Cell{
 				Name:           name,
 				Threads:        threads,
-				FastTrack:      ft.Slowdown(native),
-				Aikido:         aft.Slowdown(native),
 				PaperFastTrack: b.Paper.FastTrack[threads],
 				PaperAikido:    b.Paper.AikidoFastTrack[threads],
 			})
 		}
 	}
-	return cells, nil
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	stride := len(sweepModes)
+	for i := range shape {
+		native, ft, aft := cells[stride*i].Res, cells[stride*i+1].Res, cells[stride*i+2].Res
+		shape[i].FastTrack = ft.Slowdown(native)
+		shape[i].Aikido = aft.Slowdown(native)
+	}
+	return shape, nil
 }
 
 // WriteTable1 renders the Table 1 reproduction.
@@ -218,13 +279,20 @@ type Table2Row struct {
 // Table2 collects instrumentation statistics per benchmark and the geomean
 // reduction in instructions needing instrumentation (paper: 6.75×).
 func Table2(o Options) ([]Table2Row, float64, error) {
+	o = o.normalize()
+	benches := parsec.All()
+	var specs []runner.Spec
+	for _, b := range benches {
+		specs = append(specs, cell(o.apply(b), "Aikido", core.DefaultConfig(core.ModeAikidoFastTrack)))
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, 0, err
+	}
 	var rows []Table2Row
 	var reductions []float64
-	for _, b := range parsec.All() {
-		_, _, aft, err := runModes(b, o)
-		if err != nil {
-			return nil, 0, err
-		}
+	for i, b := range benches {
+		aft := cells[i].Res
 		r := Table2Row{
 			Name:            b.Name,
 			MemRefs:         aft.Engine.MemRefs,
@@ -271,48 +339,58 @@ type AblationRow struct {
 	Slow    float64 // slowdown vs native
 }
 
+// ablationVariants are the design points DESIGN.md calls out, compared
+// against a shared native baseline per benchmark.
+func ablationVariants() []struct {
+	label string
+	cfg   core.Config
+} {
+	noMirror := core.DefaultConfig(core.ModeAikidoFastTrack)
+	noMirror.NoMirror = true
+	return []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"dbi-only", core.DefaultConfig(core.ModeDBI)},
+		{"aikido+mirror", core.DefaultConfig(core.ModeAikidoFastTrack)},
+		{"aikido-no-mirror", noMirror},
+		{"fasttrack-full", core.DefaultConfig(core.ModeFastTrackFull)},
+	}
+}
+
 // Ablations quantifies the design choices DESIGN.md calls out:
 // mirror redirection vs unprotect/reprotect (the Abadi-style strategy of
 // §7.2), and DBI-only overhead as the floor.
 func Ablations(o Options) ([]AblationRow, error) {
 	o = o.normalize()
-	var rows []AblationRow
-	for _, name := range []string{"x264", "vips"} {
+	names := []string{"x264", "vips"}
+	variants := ablationVariants()
+	stride := 1 + len(variants) // native + each variant
+	var specs []runner.Spec
+	for _, name := range names {
 		b, err := parsec.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		bb := b.WithScale(o.Scale)
-		if o.Threads > 0 {
-			bb = bb.WithThreads(o.Threads)
-		}
-		prog, err := workload.Build(bb.Spec)
-		if err != nil {
-			return nil, err
-		}
-		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-		if err != nil {
-			return nil, err
-		}
-		variants := []struct {
-			label string
-			cfg   core.Config
-		}{
-			{"dbi-only", core.DefaultConfig(core.ModeDBI)},
-			{"aikido+mirror", core.DefaultConfig(core.ModeAikidoFastTrack)},
-			{"aikido-no-mirror", func() core.Config {
-				c := core.DefaultConfig(core.ModeAikidoFastTrack)
-				c.NoMirror = true
-				return c
-			}()},
-			{"fasttrack-full", core.DefaultConfig(core.ModeFastTrackFull)},
-		}
+		bb := o.apply(b)
+		specs = append(specs, cell(bb, "native", core.DefaultConfig(core.ModeNative)))
 		for _, v := range variants {
-			res, err := core.Run(prog, v.cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s: %w", name, v.label, err)
-			}
-			rows = append(rows, AblationRow{Name: name, Variant: v.label, Slow: res.Slowdown(native)})
+			specs = append(specs, cell(bb, v.label, v.cfg))
+		}
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for i, name := range names {
+		native := cells[i*stride].Res
+		for j, v := range variants {
+			rows = append(rows, AblationRow{
+				Name:    name,
+				Variant: v.label,
+				Slow:    cells[i*stride+1+j].Res.Slowdown(native),
+			})
 		}
 	}
 	return rows, nil
@@ -354,18 +432,7 @@ func ExtensionDetectors(o Options) ([]DetectorRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	b = b.WithScale(o.Scale)
-	if o.Threads > 0 {
-		b = b.WithThreads(o.Threads)
-	}
-	prog, err := workload.Build(b.Spec)
-	if err != nil {
-		return nil, err
-	}
-	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-	if err != nil {
-		return nil, err
-	}
+	bb := o.apply(b)
 
 	variants := []struct {
 		label string
@@ -377,14 +444,20 @@ func ExtensionDetectors(o Options) ([]DetectorRow, error) {
 		{"sampled-fasttrack", core.ModeFastTrackFull, core.AnalysisSampledFastTrack},
 		{"lockset-aikido", core.ModeAikidoFastTrack, core.AnalysisLockSet},
 	}
-	var rows []DetectorRow
+	specs := []runner.Spec{cell(bb, "native", core.DefaultConfig(core.ModeNative))}
 	for _, v := range variants {
 		cfg := core.DefaultConfig(v.mode)
 		cfg.Analysis = v.an
-		res, err := core.Run(prog, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", v.label, err)
-		}
+		specs = append(specs, cell(bb, v.label, cfg))
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	native := cells[0].Res
+	var rows []DetectorRow
+	for i, v := range variants {
+		res := cells[1+i].Res
 		row := DetectorRow{Variant: v.label, Slow: res.Slowdown(native)}
 		switch v.an {
 		case core.AnalysisLockSet:
@@ -434,26 +507,32 @@ type ScalingPoint struct {
 // (fluidanimate) model, exposing where the Aikido/FastTrack crossover moves
 // as contention grows.
 func ExtensionScaling(o Options) ([]ScalingPoint, error) {
+	o = o.normalize()
+	names := []string{"blackscholes", "vips", "fluidanimate"}
+	threadCounts := []int{1, 2, 4, 8, 16}
+	var specs []runner.Spec
 	var pts []ScalingPoint
-	for _, name := range []string{"blackscholes", "vips", "fluidanimate"} {
+	for _, name := range names {
 		b, err := parsec.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		for _, threads := range []int{1, 2, 4, 8, 16} {
+		for _, threads := range threadCounts {
 			opt := o
 			opt.Threads = threads
-			native, ft, aft, err := runModes(b, opt)
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, ScalingPoint{
-				Name:      name,
-				Threads:   threads,
-				FastTrack: ft.Slowdown(native),
-				Aikido:    aft.Slowdown(native),
-			})
+			specs = append(specs, modeCells(opt.apply(b))...)
+			pts = append(pts, ScalingPoint{Name: name, Threads: threads})
 		}
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	stride := len(sweepModes)
+	for i := range pts {
+		native, ft, aft := cells[stride*i].Res, cells[stride*i+1].Res, cells[stride*i+2].Res
+		pts[i].FastTrack = ft.Slowdown(native)
+		pts[i].Aikido = aft.Slowdown(native)
 	}
 	return pts, nil
 }

@@ -184,6 +184,60 @@ func TestOptionsNormalize(t *testing.T) {
 	}
 }
 
+// TestBenchJSONDeterministicAcrossWorkers is the CI equivalence contract:
+// with Deterministic set, the rendered -json report is byte-identical at
+// any runner pool size.
+func TestBenchJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		o := quick
+		o.Workers = workers
+		o.Deterministic = true
+		rep, err := BenchJSON(o)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBenchJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ref := render(1)
+	if strings.Contains(ref, `"wall_ns": 1`) || !strings.Contains(ref, `"wall_ns": 0`) {
+		t.Error("deterministic report still carries wall-clock")
+	}
+	for _, workers := range []int{2, 8} {
+		if got := render(workers); got != ref {
+			t.Errorf("workers=%d: JSON differs from sequential reference", workers)
+		}
+	}
+}
+
+// TestTextExperimentsDeterministicAcrossWorkers: the text renderings of
+// the sweep-based experiments are also identical at any pool size.
+func TestTextExperimentsDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		o := quick
+		o.Workers = workers
+		var buf bytes.Buffer
+		f5, err := Figure5(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteFigure5(&buf, f5)
+		ab, err := Ablations(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		WriteAblations(&buf, ab)
+		return buf.String()
+	}
+	ref := render(1)
+	if got := render(7); got != ref {
+		t.Error("workers=7: text output differs from sequential reference")
+	}
+}
+
 func TestExtensionScaling(t *testing.T) {
 	pts, err := ExtensionScaling(DefaultOptions())
 	if err != nil {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hypervisor"
 	"repro/internal/parsec"
 	"repro/internal/provider"
+	"repro/internal/runner"
 	"repro/internal/spbags"
 	"repro/internal/stm"
 	"repro/internal/workload"
@@ -35,31 +36,32 @@ type PagingRow struct {
 // concrete).
 func AblationPaging(o Options) ([]PagingRow, error) {
 	o = o.normalize()
-	var rows []PagingRow
-	for _, name := range []string{"vips", "canneal"} {
+	names := []string{"vips", "canneal"}
+	pagings := []hypervisor.PagingMode{hypervisor.ShadowPaging, hypervisor.NestedPaging}
+	stride := 1 + len(pagings)
+	var specs []runner.Spec
+	for _, name := range names {
 		b, err := parsec.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		bb := b.WithScale(o.Scale)
-		if o.Threads > 0 {
-			bb = bb.WithThreads(o.Threads)
-		}
-		prog, err := workload.Build(bb.Spec)
-		if err != nil {
-			return nil, err
-		}
-		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-		if err != nil {
-			return nil, err
-		}
-		for _, paging := range []hypervisor.PagingMode{hypervisor.ShadowPaging, hypervisor.NestedPaging} {
+		bb := o.apply(b)
+		specs = append(specs, cell(bb, "native", core.DefaultConfig(core.ModeNative)))
+		for _, paging := range pagings {
 			cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
 			cfg.Paging = paging
-			res, err := core.Run(prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s %v: %w", name, paging, err)
-			}
+			specs = append(specs, cell(bb, paging.String(), cfg))
+		}
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []PagingRow
+	for i, name := range names {
+		native := cells[i*stride].Res
+		for j, paging := range pagings {
+			res := cells[i*stride+1+j].Res
 			rows = append(rows, PagingRow{
 				Name:    name,
 				Mode:    paging.String(),
@@ -101,32 +103,27 @@ func AblationSwitch(o Options) ([]SwitchRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	bb := b.WithScale(o.Scale)
-	if o.Threads > 0 {
-		bb = bb.WithThreads(o.Threads)
-	}
-	prog, err := workload.Build(bb.Spec)
-	if err != nil {
-		return nil, err
-	}
-	native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-	if err != nil {
-		return nil, err
-	}
-	var rows []SwitchRow
-	for _, sw := range []hypervisor.SwitchInterception{
+	bb := o.apply(b)
+	switches := []hypervisor.SwitchInterception{
 		hypervisor.SwitchHypercall, hypervisor.SwitchSegTrap, hypervisor.SwitchProbe,
-	} {
+	}
+	specs := []runner.Spec{cell(bb, "native", core.DefaultConfig(core.ModeNative))}
+	for _, sw := range switches {
 		cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
 		cfg.Switch = sw
-		res, err := core.Run(prog, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%v: %w", sw, err)
-		}
+		specs = append(specs, cell(bb, sw.String(), cfg))
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	native := cells[0].Res
+	var rows []SwitchRow
+	for i, sw := range switches {
 		rows = append(rows, SwitchRow{
 			Name:         bb.Name,
 			Mechanism:    sw.String(),
-			Slow:         res.Slowdown(native),
+			Slow:         cells[1+i].Res.Slowdown(native),
 			UnmodifiedOS: !sw.RequiresGuestModification(),
 		})
 	}
@@ -163,31 +160,32 @@ type ProviderRow struct {
 // detector results are identical; the cost/transparency trade is the point.
 func AblationProviders(o Options) ([]ProviderRow, error) {
 	o = o.normalize()
-	var rows []ProviderRow
-	for _, name := range []string{"vips", "fluidanimate"} {
+	names := []string{"vips", "fluidanimate"}
+	kinds := []provider.Kind{provider.AikidoVM, provider.DOS, provider.Dthreads}
+	stride := 1 + len(kinds)
+	var specs []runner.Spec
+	for _, name := range names {
 		b, err := parsec.ByName(name)
 		if err != nil {
 			return nil, err
 		}
-		bb := b.WithScale(o.Scale)
-		if o.Threads > 0 {
-			bb = bb.WithThreads(o.Threads)
-		}
-		prog, err := workload.Build(bb.Spec)
-		if err != nil {
-			return nil, err
-		}
-		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-		if err != nil {
-			return nil, err
-		}
-		for _, kind := range []provider.Kind{provider.AikidoVM, provider.DOS, provider.Dthreads} {
+		bb := o.apply(b)
+		specs = append(specs, cell(bb, "native", core.DefaultConfig(core.ModeNative)))
+		for _, kind := range kinds {
 			cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
 			cfg.Provider = kind
-			res, err := core.Run(prog, cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s %v: %w", name, kind, err)
-			}
+			specs = append(specs, cell(bb, kind.String(), cfg))
+		}
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ProviderRow
+	for i, name := range names {
+		native := cells[i*stride].Res
+		for j, kind := range kinds {
+			res := cells[i*stride+1+j].Res
 			var tr provider.Transparency
 			switch kind {
 			case provider.DOS:

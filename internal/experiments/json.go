@@ -3,12 +3,10 @@ package experiments
 import (
 	"encoding/json"
 	"io"
-	"time"
 
-	"repro/internal/core"
 	"repro/internal/parsec"
+	"repro/internal/runner"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 // BenchRecord is one (model, mode) measurement in a machine-readable bench
@@ -16,7 +14,7 @@ import (
 type BenchRecord struct {
 	Name      string  `json:"name"`       // PARSEC model
 	Mode      string  `json:"mode"`       // "FastTrack" or "Aikido"
-	WallNS    int64   `json:"wall_ns"`    // simulator wall-clock for one run
+	WallNS    int64   `json:"wall_ns"`    // simulator wall-clock for one run (0 in deterministic reports)
 	Cycles    uint64  `json:"cycles"`     // simulated cycles
 	SlowdownX float64 `json:"slowdown_x"` // vs native (Figure 5 metric)
 	SharedPct float64 `json:"shared_pct"` // shared-access % (Figure 6 metric)
@@ -26,6 +24,10 @@ type BenchRecord struct {
 // BenchReport is the document emitted by `aikido-bench -json`. Checked-in
 // snapshots follow the BENCH_<n>.json convention (one per PR that claims a
 // performance change), giving the repository a perf trajectory.
+//
+// The worker count is deliberately absent: a report produced at -workers 8
+// must be byte-identical to one produced at -workers 1 (modulo wall_ns,
+// which -deterministic zeroes), and CI diffs exactly that.
 type BenchReport struct {
 	Schema           string        `json:"schema"` // "aikido-bench/v1"
 	Scale            float64       `json:"scale"`
@@ -34,49 +36,46 @@ type BenchReport struct {
 	Records          []BenchRecord `json:"records"`
 }
 
-// BenchJSON runs the Figure 5 workload matrix once per (model, mode) with
-// wall-clock timing and returns the machine-readable report.
+// BenchJSON shards the Figure 5 workload matrix across the runner pool,
+// one cell per (model, mode) with wall-clock timing, and reconciles the
+// machine-readable report in canonical matrix order. With
+// o.Deterministic, wall_ns fields are zeroed so the report bytes depend
+// only on simulated metrics and therefore diff clean across worker
+// counts.
 func BenchJSON(o Options) (*BenchReport, error) {
 	o = o.normalize()
 	rep := &BenchReport{Schema: "aikido-bench/v1", Scale: o.Scale}
+	benches := parsec.All()
+	var specs []runner.Spec
+	for _, b := range benches {
+		specs = append(specs, modeCells(o.apply(b))...)
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
 	var ftS, aftS []float64
-	for _, b := range parsec.All() {
-		b = b.WithScale(o.Scale)
-		if o.Threads > 0 {
-			b = b.WithThreads(o.Threads)
-		}
-		prog, err := workload.Build(b.Spec)
-		if err != nil {
-			return nil, err
-		}
-		native, err := core.Run(prog, core.DefaultConfig(core.ModeNative))
-		if err != nil {
-			return nil, err
-		}
-		for _, mode := range []struct {
-			m     core.Mode
-			label string
-		}{
-			{core.ModeFastTrackFull, "FastTrack"},
-			{core.ModeAikidoFastTrack, "Aikido"},
-		} {
-			start := time.Now()
-			res, err := core.Run(prog, core.DefaultConfig(mode.m))
-			if err != nil {
-				return nil, err
+	stride := len(sweepModes)
+	for i, b := range benches {
+		native := cells[stride*i].Res
+		for j, sm := range sweepModes[1:] {
+			label := sm.label
+			m := cells[stride*i+1+j]
+			wall := m.Wall.Nanoseconds()
+			if o.Deterministic {
+				wall = 0
 			}
-			wall := time.Since(start)
-			slow := res.Slowdown(native)
+			slow := m.Res.Slowdown(native)
 			rep.Records = append(rep.Records, BenchRecord{
 				Name:      b.Name,
-				Mode:      mode.label,
-				WallNS:    wall.Nanoseconds(),
-				Cycles:    res.Cycles,
+				Mode:      label,
+				WallNS:    wall,
+				Cycles:    m.Res.Cycles,
 				SlowdownX: slow,
-				SharedPct: 100 * res.SharedAccessFraction(),
-				Races:     len(res.Races),
+				SharedPct: 100 * m.Res.SharedAccessFraction(),
+				Races:     len(m.Res.Races),
 			})
-			if mode.m == core.ModeFastTrackFull {
+			if label == "FastTrack" {
 				ftS = append(ftS, slow)
 			} else {
 				aftS = append(aftS, slow)

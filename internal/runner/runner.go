@@ -1,0 +1,172 @@
+// Package runner is the concurrent experiment engine: it shards a matrix
+// of (workload, configuration) cells — the model×mode sweeps behind
+// Figure 5, Figure 6, Tables 1–2 and the ablations — across a pool of
+// worker goroutines while keeping the output bit-for-bit identical to a
+// sequential run.
+//
+// The determinism contract has three legs, mirroring the per-worker
+// sharded-state idiom of Doppel (narula/ddtxn):
+//
+//   - Isolation: every cell compiles its own guest program and assembles
+//     its own core.System, so no shadow state, clock, or detector is
+//     shared between concurrently executing cells. workload.Build is a
+//     pure function of the workload spec (deterministic per-configuration
+//     seeding), so a cell's result depends only on the cell, never on
+//     which worker ran it or when.
+//   - Lock-free accumulation: each worker owns a private stats.Tally and
+//     writes each cell's result into that cell's own slot of the dense
+//     result slice; no mutexes or channels appear anywhere on the
+//     measurement path (dispatch is one atomic fetch-add per cell).
+//   - Deterministic reconciliation: after the pool joins, per-worker
+//     tallies are merged with order-independent integer sums and derived
+//     metrics (slowdowns, geomeans) are computed by the caller in
+//     canonical spec order from the dense slice — so the merged report is
+//     byte-identical for any worker count and any GOMAXPROCS.
+//
+// Workers pull cells from an atomic work queue rather than by fixed
+// stride: experiment matrices repeat a [native, FastTrack, Aikido] mode
+// pattern, and a stride that shares a factor with the pattern period
+// would hand one worker every expensive cell. Which worker runs a cell
+// can never affect the output — results land at the cell's index and
+// tallies merge order-independently — so dynamic assignment costs no
+// determinism.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Spec is one cell of an experiment matrix: a guest workload plus the
+// system configuration to run it under.
+type Spec struct {
+	// Label names the cell in reports and errors ("vips/Aikido-FastTrack").
+	Label string
+	// Workload is the guest program specification. Each cell compiles it
+	// privately with workload.Build, which is deterministic, so cells
+	// never share compiled state.
+	Workload workload.Spec
+	// Config is the core.System configuration for this cell.
+	Config core.Config
+}
+
+// Measurement is one completed cell.
+type Measurement struct {
+	Spec Spec
+	// Res carries every layer's simulated statistics for the run.
+	Res *core.Result
+	// Wall is the simulator's wall-clock time for this cell. It is the
+	// only nondeterministic field; consumers that need byte-identical
+	// reports must omit or zero it (experiments.Options.Deterministic).
+	Wall time.Duration
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Workers is the pool size. <= 0 means runtime.NumCPU(). The pool is
+	// clamped to the number of cells.
+	Workers int
+}
+
+// Report is the reconciled outcome of a sweep.
+type Report struct {
+	// Cells holds one Measurement per input Spec, in spec order,
+	// regardless of which worker ran which cell.
+	Cells []Measurement
+	// Totals is the merge of the per-worker tallies: order-independent
+	// sums over every cell in the sweep.
+	Totals stats.Tally
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// Sweep executes every cell of specs on a worker pool and reconciles the
+// per-worker shards into a Report. The Report (minus wall-clock) is
+// byte-identical for any worker count; see the package comment for the
+// determinism contract. On error the first failing cell in spec order is
+// reported, again independent of scheduling.
+func Sweep(specs []Spec, opt Options) (*Report, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if len(specs) == 0 {
+		return &Report{Workers: 0}, nil
+	}
+
+	cells := make([]Measurement, len(specs))
+	errs := make([]error, len(specs))
+	tallies := make([]stats.Tally, workers)
+
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tally := &tallies[w]
+			// Dynamic queue: claim the next unclaimed cell. Each write
+			// below touches only the claimed cell's slot and this
+			// worker's private tally — no locks on the measurement path.
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(specs) {
+					return
+				}
+				m, err := runCell(specs[i])
+				if err != nil {
+					// Stop new claims pool-wide. Cells are claimed in
+					// increasing index order and in-flight cells finish,
+					// so the globally first failing cell is always
+					// claimed and recorded before the pool drains.
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				cells[i] = m
+				tally.Add(m.Res, m.Wall)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Reconciliation: first error in canonical spec order (scheduling
+	// cannot change which one is reported), then order-independent merge
+	// of the worker shards.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runner: cell %d (%s): %w", i, specs[i].Label, err)
+		}
+	}
+	rep := &Report{Cells: cells, Workers: workers}
+	for w := range tallies {
+		rep.Totals.Merge(tallies[w])
+	}
+	return rep, nil
+}
+
+// runCell compiles and executes one cell in complete isolation: a fresh
+// program, a fresh machine, a fresh system.
+func runCell(s Spec) (Measurement, error) {
+	prog, err := workload.Build(s.Workload)
+	if err != nil {
+		return Measurement{}, err
+	}
+	start := time.Now()
+	res, err := core.Run(prog, s.Config)
+	if err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Spec: s, Res: res, Wall: time.Since(start)}, nil
+}

@@ -1,0 +1,157 @@
+package runner
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parsec"
+	"repro/internal/stats"
+)
+
+// testMatrix is the full Figure 5 model×mode matrix at a small scale:
+// every PARSEC model under native, FastTrack-full and Aikido-FastTrack.
+func testMatrix(t *testing.T, scale float64) []Spec {
+	t.Helper()
+	var specs []Spec
+	for _, b := range parsec.All() {
+		b = b.WithScale(scale)
+		for _, m := range []core.Mode{core.ModeNative, core.ModeFastTrackFull, core.ModeAikidoFastTrack} {
+			specs = append(specs, Spec{
+				Label:    b.Name + "/" + m.String(),
+				Workload: b.Spec,
+				Config:   core.DefaultConfig(m),
+			})
+		}
+	}
+	return specs
+}
+
+// resultsJSON serializes the deterministic portion of a report — every
+// cell's label and full core.Result, excluding wall-clock — for
+// byte-level comparison.
+func resultsJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	type cell struct {
+		Label string
+		Res   *core.Result
+	}
+	cells := make([]cell, len(rep.Cells))
+	for i, m := range rep.Cells {
+		cells[i] = cell{Label: m.Spec.Label, Res: m.Res}
+	}
+	b, err := json.Marshal(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSweepByteIdenticalAcrossWorkers is the engine's core contract: the
+// reconciled report (minus wall-clock) is byte-for-byte identical for any
+// worker count, including the sequential workers=1 reference.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	specs := testMatrix(t, 0.1)
+	ref, err := Sweep(specs, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Workers != 1 {
+		t.Fatalf("reference pool size = %d, want 1", ref.Workers)
+	}
+	refJSON := resultsJSON(t, ref)
+	refTotals := ref.Totals
+	refTotals.Wall = 0
+
+	for _, workers := range []int{2, 3, 8, len(specs) + 5} {
+		rep, err := Sweep(specs, Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := resultsJSON(t, rep)
+		if string(got) != string(refJSON) {
+			t.Errorf("workers=%d: results differ from sequential reference", workers)
+		}
+		totals := rep.Totals
+		totals.Wall = 0
+		if totals != refTotals {
+			t.Errorf("workers=%d: totals %+v != sequential %+v", workers, totals, refTotals)
+		}
+	}
+}
+
+// TestSweepReconciliation: cells come back in spec order and the merged
+// totals equal per-cell sums recomputed in canonical order.
+func TestSweepReconciliation(t *testing.T) {
+	specs := testMatrix(t, 0.1)
+	rep, err := Sweep(specs, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != len(specs) {
+		t.Fatalf("cells = %d, want %d", len(rep.Cells), len(specs))
+	}
+	var want stats.Tally
+	for i, m := range rep.Cells {
+		if m.Spec.Label != specs[i].Label {
+			t.Errorf("cell %d label = %q, want %q (order not preserved)", i, m.Spec.Label, specs[i].Label)
+		}
+		if m.Res == nil {
+			t.Fatalf("cell %d: nil result", i)
+		}
+		want.Add(m.Res, 0)
+	}
+	got := rep.Totals
+	got.Wall = 0
+	if got != want {
+		t.Errorf("totals %+v != canonical-order sums %+v", got, want)
+	}
+	if got.Runs != uint64(len(specs)) {
+		t.Errorf("runs = %d, want %d", got.Runs, len(specs))
+	}
+}
+
+// TestSweepErrorDeterministic: when several cells fail, the reported error
+// names the first failing cell in spec order, regardless of worker count.
+func TestSweepErrorDeterministic(t *testing.T) {
+	specs := testMatrix(t, 0.05)
+	bad := core.Config{Mode: core.Mode(99), Costs: stats.DefaultCosts()}
+	specs[7].Config = bad
+	specs[7].Label = "bad-seven"
+	specs[3].Config = bad
+	specs[3].Label = "bad-three"
+	for _, workers := range []int{1, 2, 8} {
+		_, err := Sweep(specs, Options{Workers: workers})
+		if err == nil {
+			t.Fatalf("workers=%d: no error", workers)
+		}
+		if !strings.Contains(err.Error(), "cell 3") || !strings.Contains(err.Error(), "bad-three") {
+			t.Errorf("workers=%d: error %q does not name first failing cell", workers, err)
+		}
+	}
+}
+
+// TestSweepEmpty: an empty matrix reconciles to an empty report.
+func TestSweepEmpty(t *testing.T) {
+	rep, err := Sweep(nil, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cells) != 0 || rep.Totals.Runs != 0 {
+		t.Errorf("non-empty report from empty sweep: %+v", rep)
+	}
+}
+
+// TestSweepDefaultWorkers: Workers <= 0 resolves to a positive pool
+// clamped by the cell count.
+func TestSweepDefaultWorkers(t *testing.T) {
+	specs := testMatrix(t, 0.05)[:2]
+	rep, err := Sweep(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Workers < 1 || rep.Workers > 2 {
+		t.Errorf("workers = %d, want 1..2 (NumCPU clamped to cells)", rep.Workers)
+	}
+}

@@ -1,0 +1,62 @@
+package stats
+
+import "time"
+
+// Tally is the lock-free per-worker accumulator used by the concurrent
+// experiment runner (internal/runner): each worker owns one Tally and adds
+// its cells to it without synchronization; after the pool joins, the
+// shards are combined with Merge. Every field is an integer sum, so the
+// merged totals are identical for any sharding and any merge order —
+// the property the runner's determinism contract relies on.
+type Tally struct {
+	// Runs counts completed cells.
+	Runs uint64
+	// Cycles sums simulated cycles over all cells.
+	Cycles uint64
+	// Instructions and MemRefs sum the engine's retirement counters.
+	Instructions uint64
+	MemRefs      uint64
+	// InstrumentedExecs sums executions of analysis-instrumented
+	// instructions (Table 2 column 2).
+	InstrumentedExecs uint64
+	// SharedAccesses sums accesses that targeted shared pages (Figure 6
+	// numerator).
+	SharedAccesses uint64
+	// Races sums reported races across all cells.
+	Races uint64
+	// Wall sums simulator wall-clock. It is the only field that is not
+	// deterministic across runs; deterministic reports must ignore it.
+	Wall time.Duration
+}
+
+// RunCounters is the narrow seam a completed run exposes to the tally —
+// core.Result implements it — so stats stays free of upward dependencies.
+type RunCounters interface {
+	TallyCounters() (cycles, instructions, memRefs, instrumented, shared, races uint64)
+}
+
+// Add accumulates one completed run into the tally.
+func (t *Tally) Add(res RunCounters, wall time.Duration) {
+	cycles, instrs, memRefs, instrumented, shared, races := res.TallyCounters()
+	t.Runs++
+	t.Cycles += cycles
+	t.Instructions += instrs
+	t.MemRefs += memRefs
+	t.InstrumentedExecs += instrumented
+	t.SharedAccesses += shared
+	t.Races += races
+	t.Wall += wall
+}
+
+// Merge folds another shard into t. Integer sums only: merging shards in
+// any order yields the same totals.
+func (t *Tally) Merge(o Tally) {
+	t.Runs += o.Runs
+	t.Cycles += o.Cycles
+	t.Instructions += o.Instructions
+	t.MemRefs += o.MemRefs
+	t.InstrumentedExecs += o.InstrumentedExecs
+	t.SharedAccesses += o.SharedAccesses
+	t.Races += o.Races
+	t.Wall += o.Wall
+}
