@@ -413,7 +413,7 @@ func BenchmarkExtensionNondeterminator(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
-		b.ReportMetric(float64(len(res.Races)), "races")
+		b.ReportMetric(float64(len(res.Races())), "races")
 	})
 }
 

@@ -7,9 +7,17 @@
 // Usage:
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
-//	              switch|providers|detectors|scaling|nondet|stm|crew]
+//	              switch|providers|detectors|muxbench|scaling|nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
-//	             [-deterministic]
+//	             [-muxjson FILE] [-analysis NAME[,NAME...]] [-deterministic]
+//
+// -analysis selects the analyses every analysis-bearing cell runs (registry
+// names, multiplexed onto one pass per cell); CI diffs the -json report at
+// "-analysis fasttrack" (and the "ft" alias) against the default to pin the
+// single-analysis path byte-identical through the registry seam. The
+// muxbench experiment (and -muxjson, the BENCH_<n>.json source) measures N
+// sequential single-analysis Aikido passes against ONE multiplexed pass
+// hosting the same N analyses.
 //
 // Every model×mode experiment matrix is sharded across -workers concurrent
 // runner workers (default: all CPUs); results are identical at any worker
@@ -33,40 +41,69 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/analysis"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
 	jsonOut := flag.String("json", "", "write a machine-readable bench report to this file (\"-\" = stdout) instead of running text experiments")
-	det := flag.Bool("deterministic", false, "zero wall_ns in the -json report so output bytes depend only on simulated metrics")
+	muxOut := flag.String("muxjson", "", "write the mux-amortization report (BENCH_<n>.json snapshots) to this file (\"-\" = stdout)")
+	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
+	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
 	flag.Parse()
 
-	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers, Deterministic: *det}
+	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers,
+		Deterministic: *det, Analyses: analysis.ParseList(*analyses)}
 	w := os.Stdout
 
-	if *jsonOut != "" {
-		rep, err := experiments.BenchJSON(o)
+	openOut := func(path string) *os.File {
+		if path == "-" {
+			return os.Stdout
+		}
+		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "aikido-bench: json: %v\n", err)
+			fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 			os.Exit(1)
 		}
-		out := os.Stdout
-		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
+		return f
+	}
+
+	// -json and -muxjson each replace the text experiments; given
+	// together, both reports are produced.
+	if *jsonOut != "" || *muxOut != "" {
+		if *jsonOut != "" {
+			rep, err := experiments.BenchJSON(o)
 			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: json: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*jsonOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteBenchJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
-			defer f.Close()
-			out = f
 		}
-		if err := experiments.WriteBenchJSON(out, rep); err != nil {
-			fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
-			os.Exit(1)
+		if *muxOut != "" {
+			rep, err := experiments.MuxJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: muxjson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*muxOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteMuxJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}
@@ -152,6 +189,14 @@ func main() {
 			return err
 		}
 		experiments.WriteExtensionDetectors(w, rows)
+		return nil
+	})
+	run("muxbench", func() error {
+		rows, err := experiments.MuxAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteMuxAmortization(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

@@ -1,14 +1,24 @@
 // Command aikido-run executes one PARSEC benchmark model — or, with
 // -bench all, every model concurrently — under a chosen detector
-// configuration and prints the run's statistics and race reports.
+// configuration and prints the run's statistics and findings.
 //
 // Usage:
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
-//	           [-analysis fasttrack|lockset|sampled|atomicity|commgraph]
+//	           [-analysis NAME[,NAME...]] [-max-findings N]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
-//	           [-threads N] [-scale F] [-workers N] [-races] [-list]
+//	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
+//	           [-list-analyses]
+//
+// -analysis takes any comma-separated selection from the analysis
+// registry ("fasttrack", "lockset", "atomicity", "commgraph", "taint",
+// "memcheck", "spbags", "sampled[:NAME]", aliases like "ft"); multiple
+// names multiplex onto ONE instrumented execution — a single DBI+sharing
+// pass hosts every selected analysis, the paper's §7 framework claim in
+// flag form. The findings table is driven by the registry's uniform
+// findings surface: no per-detector switch exists here, and a newly
+// registered analysis shows up without touching this command.
 //
 // All execution goes through the concurrent runner (internal/runner):
 // -bench all shards the ten models across -workers pool workers, and the
@@ -21,6 +31,7 @@ import (
 	"os"
 	"runtime"
 
+	"repro/internal/analysis"
 	"repro/internal/core"
 	"repro/internal/hypervisor"
 	"repro/internal/parsec"
@@ -31,19 +42,29 @@ import (
 func main() {
 	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list), or \"all\" to sweep every model")
 	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
-	analysis := flag.String("analysis", "fasttrack", "fasttrack, lockset, sampled, atomicity, commgraph")
+	analyses := flag.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
+	maxFindings := flag.Int("max-findings", 0, "cap stored findings per analysis (0 = each detector's default)")
 	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := flag.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
 	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
 	threads := flag.Int("threads", 0, "worker threads (0 = benchmark default)")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for -bench all (results are identical at any value)")
-	races := flag.Bool("races", false, "print every detected race/violation")
+	findings := flag.Bool("findings", false, "print every detected race/warning/violation/flow")
+	races := flag.Bool("races", false, "alias for -findings")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	listAn := flag.Bool("list-analyses", false, "list registered analyses and exit")
 	flag.Parse()
+	printFindings := *findings || *races
 
 	if *list {
 		for _, n := range parsec.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	if *listAn {
+		for _, n := range analysis.Names() {
 			fmt.Println(n)
 		}
 		return
@@ -58,17 +79,6 @@ func main() {
 	}[*mode]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aikido-run: unknown mode %q\n", *mode)
-		os.Exit(2)
-	}
-	an, ok := map[string]core.AnalysisKind{
-		"fasttrack": core.AnalysisFastTrack,
-		"lockset":   core.AnalysisLockSet,
-		"sampled":   core.AnalysisSampledFastTrack,
-		"atomicity": core.AnalysisAtomicity,
-		"commgraph": core.AnalysisCommGraph,
-	}[*analysis]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "aikido-run: unknown analysis %q\n", *analysis)
 		os.Exit(2)
 	}
 	pk, ok := map[string]provider.Kind{
@@ -99,7 +109,8 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig(m)
-	cfg.Analysis = an
+	cfg.Analyses = analysis.ParseList(*analyses)
+	cfg.MaxFindings = *maxFindings
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
@@ -123,12 +134,8 @@ func main() {
 			fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
 			os.Exit(1)
 		}
-		// findings spans every analysis kind: FastTrack races, LockSet
-		// warnings, atomicity violations.
-		findings := func(res *core.Result) int {
-			return len(res.Races) + len(res.Warnings) + len(res.Violations)
-		}
-		fmt.Printf("mode %s, scale %.2f, %d runner workers\n", m, *scale, rep.Workers)
+		fmt.Printf("mode %s, analyses %v, scale %.2f, %d runner workers\n",
+			m, cfg.Analyses, *scale, rep.Workers)
 		fmt.Printf("%-15s %14s %14s %14s %14s %9s %9s\n",
 			"benchmark", "cycles", "instructions", "mem refs", "instrumented", "shared%", "findings")
 		total := 0
@@ -136,22 +143,18 @@ func main() {
 			res := c.Res
 			fmt.Printf("%-15s %14d %14d %14d %14d %8.2f%% %9d\n",
 				c.Spec.Label, res.Cycles, res.Engine.Instructions, res.Engine.MemRefs,
-				res.Engine.InstrumentedExecs, 100*res.SharedAccessFraction(), findings(res))
-			total += findings(res)
+				res.Engine.InstrumentedExecs, 100*res.SharedAccessFraction(), res.TotalFindings())
+			total += res.TotalFindings()
 		}
 		t := rep.Totals
 		fmt.Printf("%-15s %14d %14d %14d %14d %9s %9d\n",
 			"total", t.Cycles, t.Instructions, t.MemRefs, t.InstrumentedExecs, "", total)
-		if *races {
+		if printFindings {
 			for _, c := range rep.Cells {
-				for _, r := range c.Res.Races {
-					fmt.Printf("%s: %v\n", c.Spec.Label, r)
-				}
-				for _, w := range c.Res.Warnings {
-					fmt.Printf("%s: %v\n", c.Spec.Label, w)
-				}
-				for _, v := range c.Res.Violations {
-					fmt.Printf("%s: %v\n", c.Spec.Label, v)
+				for _, name := range c.Res.AnalysisNames() {
+					for _, line := range c.Res.Findings[name].Strings() {
+						fmt.Printf("%s: %s: %s\n", c.Spec.Label, name, line)
+					}
 				}
 			}
 		}
@@ -193,50 +196,15 @@ func main() {
 		}
 		fmt.Printf("instrumented PCs %d\n", res.SD.InstrumentedPCs)
 	}
-	if an == core.AnalysisCommGraph && res.CG.Communications > 0 {
-		fmt.Printf("communications   %d over %d shared variables\n",
-			res.CG.Communications, res.CG.Variables)
-		for i, e := range res.CommEdges {
-			if i >= 8 {
-				fmt.Printf("  … %d more edges\n", len(res.CommEdges)-8)
-				break
-			}
-			fmt.Printf("  %v weight %d\n", e.Edge, e.Weight)
-		}
-	}
-	if m == core.ModeAikidoFastTrack || m == core.ModeFastTrackFull {
-		switch an {
-		case core.AnalysisLockSet:
-			fmt.Printf("analysis         lockset: reads=%d writes=%d refinements=%d\n",
-				res.LS.Reads, res.LS.Writes, res.LS.Refinements)
-			fmt.Printf("violations       %d\n", len(res.Warnings))
-			if *races {
-				for _, w := range res.Warnings {
-					fmt.Printf("  %v\n", w)
-				}
-			}
-		case core.AnalysisAtomicity:
-			fmt.Printf("analysis         atomicity: reads=%d writes=%d regions=%d\n",
-				res.Atom.Reads, res.Atom.Writes, res.Atom.Regions)
-			fmt.Printf("violations       %d\n", len(res.Violations))
-			if *races {
-				for _, w := range res.Violations {
-					fmt.Printf("  %v\n", w)
-				}
-			}
-		default:
-			fmt.Printf("analysis         reads=%d writes=%d same-epoch=%d slow=%d sync=%d\n",
-				res.FT.Reads, res.FT.Writes, res.FT.SameEpoch, res.FT.SlowPath, res.FT.SyncOps)
-			if an == core.AnalysisSampledFastTrack {
-				fmt.Printf("sampling         %d of %d accesses (%.2f%%)\n",
-					res.Sampling.Sampled, res.Sampling.Seen,
-					100*float64(res.Sampling.Sampled)/float64(res.Sampling.Seen))
-			}
-			fmt.Printf("races            %d\n", len(res.Races))
-			if *races {
-				for _, r := range res.Races {
-					fmt.Printf("  %v\n", r)
-				}
+	// The findings table is registry-driven: one block per selected
+	// analysis, rendered through the uniform findings surface.
+	for _, name := range res.AnalysisNames() {
+		f := res.Findings[name]
+		fmt.Printf("analysis         %s: %s\n", name, f.Summary())
+		fmt.Printf("findings         %d\n", f.Len())
+		if printFindings {
+			for _, line := range f.Strings() {
+				fmt.Printf("  %s\n", line)
 			}
 		}
 	}

@@ -32,11 +32,11 @@ func check(label string, spec workload.ForkJoinSpec, note string) (spRaces, ftRa
 		log.Fatal(err)
 	}
 	fmt.Printf("%-16s SP-bags: %3d   FastTrack: %3d   %s\n",
-		label, len(rep.Races), len(ft.Races), note)
+		label, len(rep.Races), len(ft.Races()), note)
 	if len(rep.Races) > 0 {
 		fmt.Printf("%-16s first report: %v\n", "", rep.Races[0])
 	}
-	return len(rep.Races), len(ft.Races)
+	return len(rep.Races), len(ft.Races())
 }
 
 func main() {

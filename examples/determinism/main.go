@@ -63,7 +63,7 @@ func races(prog *isa.Program, mode core.Mode) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return len(res.Races)
+	return len(res.Races())
 }
 
 func main() {
@@ -100,7 +100,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sig := fmt.Sprintf("cycles=%d instrs=%d races=%d",
-			res.Cycles, res.Engine.Instructions, len(res.Races))
+			res.Cycles, res.Engine.Instructions, len(res.Races()))
 		fmt.Printf("run %d: %s\n", run+1, sig)
 		if run == 0 {
 			first = sig

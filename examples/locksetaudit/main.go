@@ -72,19 +72,16 @@ func main() {
 	b.Halt()
 	prog := b.MustFinish()
 
-	run := func(an core.AnalysisKind) *core.Result {
-		cfg := core.DefaultConfig(core.ModeAikidoFastTrack)
-		cfg.Analysis = an
-		cfg.Engine.Quantum = 50
-		res, err := core.Run(prog, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return res
+	// One multiplexed pass hosts BOTH analyses: the registry fans the
+	// single instrumented execution out to LockSet and FastTrack, so the
+	// comparison below comes from one run, not two.
+	cfg := core.DefaultConfig(core.ModeAikidoFastTrack).WithAnalyses("lockset", "fasttrack")
+	cfg.Engine.Quantum = 50
+	res, err := core.Run(prog, cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	ls := run(core.AnalysisLockSet)
-	ft := run(core.AnalysisFastTrack)
+	ls, ft := res, res
 
 	name := func(a uint64) string {
 		switch a &^ 7 {
@@ -100,16 +97,16 @@ func main() {
 
 	fmt.Println("=== Eraser LockSet over Aikido ===")
 	fmt.Printf("accesses analyzed (shared pages only): %d\n", ls.SD.SharedPageAccesses)
-	fmt.Printf("lockset refinements: %d\n", ls.LS.Refinements)
+	fmt.Printf("lockset refinements: %d\n", ls.LS().Refinements)
 	fmt.Println("discipline violations:")
-	for _, w := range ls.Warnings {
+	for _, w := range ls.Warnings() {
 		fmt.Printf("  %s — %v\n", name(w.Addr), w)
 	}
 
 	fmt.Println()
-	fmt.Println("=== FastTrack over Aikido, same program ===")
+	fmt.Println("=== FastTrack, same multiplexed pass ===")
 	fmt.Println("races:")
-	for _, r := range ft.Races {
+	for _, r := range ft.Races() {
 		fmt.Printf("  %s — %v\n", name(r.Addr), r)
 	}
 
@@ -120,13 +117,13 @@ func main() {
 
 	// Sanity for CI-style runs.
 	hasLS := map[string]bool{}
-	for _, w := range ls.Warnings {
+	for _, w := range ls.Warnings() {
 		hasLS[name(w.Addr)] = true
 	}
 	if !hasLS["bad (per-thread locks)"] || !hasLS["ordered (join-ordered, unlocked)"] {
 		log.Fatal("LockSet missed an expected violation")
 	}
-	for _, r := range ft.Races {
+	for _, r := range ft.Races() {
 		if r.Addr == good || r.Addr == ordered {
 			log.Fatal("FastTrack flagged a non-racing variable")
 		}

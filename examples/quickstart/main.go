@@ -80,11 +80,11 @@ func main() {
 	fmt.Printf("slowdown, FastTrack-full:   %.1fx\n", full.Slowdown(native))
 	fmt.Printf("slowdown, Aikido-FastTrack: %.1fx\n", aikido.Slowdown(native))
 	fmt.Println()
-	fmt.Printf("races found by Aikido-FastTrack: %d\n", len(aikido.Races))
-	for _, r := range aikido.Races {
+	fmt.Printf("races found by Aikido-FastTrack: %d\n", len(aikido.Races()))
+	for _, r := range aikido.Races() {
 		fmt.Printf("  %v\n", r)
 	}
-	if len(aikido.Races) == 0 {
+	if len(aikido.Races()) == 0 {
 		log.Fatal("expected to find the counter race")
 	}
 }

@@ -1,0 +1,218 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Factory builds one analysis instance in the given environment. A factory
+// that needs a facility the environment lacks (a process, shadow memory)
+// returns an error naming it.
+type Factory func(Env) (Analysis, error)
+
+// Wrapper builds an analysis around another one — the generalization that
+// lets the LiteRace-style sampler wrap *any* registered analysis, not just
+// FastTrack. innerName is the resolved registry name of inner, so the
+// wrapper can report a composed name ("sampled:lockset").
+type Wrapper func(inner Analysis, innerName string, env Env) (Analysis, error)
+
+// Registry maps stable names to analysis factories. The zero value is
+// ready to use; most callers use the package-level default registry that
+// detector packages populate in init().
+type Registry struct {
+	mu        sync.RWMutex
+	factories map[string]Factory
+	wrappers  map[string]wrapperEntry
+	aliases   map[string]string
+}
+
+type wrapperEntry struct {
+	w            Wrapper
+	defaultInner string
+}
+
+// Register adds a named factory. Registering a duplicate name panics:
+// names are API, and two packages claiming one is a programming error.
+func (r *Registry) Register(name string, f Factory) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.factories == nil {
+		r.factories = make(map[string]Factory)
+	}
+	if _, dup := r.factories[name]; dup {
+		panic(fmt.Sprintf("analysis: duplicate registration of %q", name))
+	}
+	r.factories[name] = f
+}
+
+// RegisterWrapper adds a named analysis combinator. The name resolves both
+// bare ("sampled" wraps defaultInner) and composed ("sampled:lockset").
+func (r *Registry) RegisterWrapper(name, defaultInner string, w Wrapper) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wrappers == nil {
+		r.wrappers = make(map[string]wrapperEntry)
+	}
+	if _, dup := r.wrappers[name]; dup {
+		panic(fmt.Sprintf("analysis: duplicate wrapper registration of %q", name))
+	}
+	r.wrappers[name] = wrapperEntry{w: w, defaultInner: defaultInner}
+}
+
+// RegisterAlias maps a short alias ("ft") to a registered name
+// ("fasttrack"). Aliases resolve in New and Resolve but do not appear in
+// Names.
+func (r *Registry) RegisterAlias(alias, name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.aliases == nil {
+		r.aliases = make(map[string]string)
+	}
+	r.aliases[alias] = name
+}
+
+// Resolve canonicalizes a requested name: aliases expand, and a bare
+// wrapper name gains its default inner ("sampled" → "sampled:fasttrack").
+// Unknown names resolve to themselves; New reports them.
+func (r *Registry) Resolve(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.resolveLocked(name)
+}
+
+func (r *Registry) resolveLocked(name string) string {
+	name = strings.TrimSpace(name)
+	if canon, ok := r.aliases[name]; ok {
+		name = canon
+	}
+	if wname, inner, ok := strings.Cut(name, ":"); ok {
+		if canon, aliased := r.aliases[inner]; aliased {
+			inner = canon
+		}
+		return wname + ":" + inner
+	}
+	if we, ok := r.wrappers[name]; ok {
+		return name + ":" + r.resolveLocked(we.defaultInner)
+	}
+	return name
+}
+
+// New builds the analysis registered under name (aliases and
+// wrapper-composition syntax included) in env.
+func (r *Registry) New(name string, env Env) (Analysis, error) {
+	r.mu.RLock()
+	canon := r.resolveLocked(name)
+	var (
+		factory Factory
+		wentry  wrapperEntry
+		isWrap  bool
+		inner   string
+	)
+	if wname, in, ok := strings.Cut(canon, ":"); ok {
+		wentry, isWrap = r.wrappers[wname]
+		inner = in
+		if !isWrap {
+			have := strings.Join(r.names(), ", ")
+			r.mu.RUnlock()
+			return nil, fmt.Errorf("analysis: unknown wrapper %q in %q (have %s)", wname, name, have)
+		}
+	} else {
+		factory = r.factories[canon]
+	}
+	r.mu.RUnlock()
+
+	if isWrap {
+		in, err := r.New(inner, env)
+		if err != nil {
+			return nil, err
+		}
+		return wentry.w(in, r.Resolve(inner), env)
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("analysis: unknown analysis %q (have %s)", name, strings.Join(r.Names(), ", "))
+	}
+	return factory(env)
+}
+
+// NewAll builds one analysis per name, rejecting duplicates after
+// canonicalization (two copies of one detector would double-charge the
+// clock and report everything twice).
+func (r *Registry) NewAll(names []string, env Env) ([]Analysis, error) {
+	out := make([]Analysis, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, n := range names {
+		canon := r.Resolve(n)
+		if seen[canon] {
+			return nil, fmt.Errorf("analysis: %q selected twice", canon)
+		}
+		seen[canon] = true
+		a, err := r.New(n, env)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names returns the registered analysis names, sorted. Wrappers appear in
+// bare form ("sampled"); aliases are omitted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.names()
+}
+
+func (r *Registry) names() []string {
+	out := make([]string, 0, len(r.factories)+len(r.wrappers))
+	for n := range r.factories {
+		out = append(out, n)
+	}
+	for n := range r.wrappers {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// defaultRegistry is the process-wide registry detector packages populate
+// in init().
+var defaultRegistry Registry
+
+// Register adds a factory to the default registry.
+func Register(name string, f Factory) { defaultRegistry.Register(name, f) }
+
+// RegisterWrapper adds a combinator to the default registry.
+func RegisterWrapper(name, defaultInner string, w Wrapper) {
+	defaultRegistry.RegisterWrapper(name, defaultInner, w)
+}
+
+// RegisterAlias adds an alias to the default registry.
+func RegisterAlias(alias, name string) { defaultRegistry.RegisterAlias(alias, name) }
+
+// Resolve canonicalizes a name against the default registry.
+func Resolve(name string) string { return defaultRegistry.Resolve(name) }
+
+// New builds a named analysis from the default registry.
+func New(name string, env Env) (Analysis, error) { return defaultRegistry.New(name, env) }
+
+// NewAll builds one analysis per name from the default registry.
+func NewAll(names []string, env Env) ([]Analysis, error) { return defaultRegistry.NewAll(names, env) }
+
+// Names lists the default registry.
+func Names() []string { return defaultRegistry.Names() }
+
+// ParseList splits a comma-separated analysis list ("ft,lockset, atomicity")
+// into trimmed names, dropping empties — the shape both cmds accept on
+// their -analysis flags.
+func ParseList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -97,6 +97,9 @@ type Detector struct {
 	C Counters
 }
 
+// defaultMaxViolations is the default findings cap.
+const defaultMaxViolations = 1000
+
 // New creates a detector charging costs to clock.
 func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 	return &Detector{
@@ -105,7 +108,7 @@ func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 		threads:       make(map[guest.TID]*regionInfo),
 		vars:          make(map[uint64]*varState),
 		seen:          make(map[uint64]struct{}),
-		MaxViolations: 1000,
+		MaxViolations: defaultMaxViolations,
 	}
 }
 

@@ -58,6 +58,9 @@ type Analysis struct {
 	clock *stats.Clock
 	costs stats.CostModel
 
+	// MaxEdges caps the edges a Report stores (heaviest first; 0 = all).
+	MaxEdges int
+
 	C Counters
 }
 

@@ -119,7 +119,7 @@ func TestAikidoNearLossless(t *testing.T) {
 	prog := producerConsumer(t, 4000)
 	run := func(mode core.Mode) *core.Result {
 		cfg := core.DefaultConfig(mode)
-		cfg.Analysis = core.AnalysisCommGraph
+		cfg.Analyses = []string{"commgraph"}
 		r, err := core.Run(prog, cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -129,15 +129,15 @@ func TestAikidoNearLossless(t *testing.T) {
 	full := run(core.ModeFastTrackFull) // "full" = conservative instrumentation
 	aik := run(core.ModeAikidoFastTrack)
 
-	if len(full.CommEdges) == 0 {
+	if len(full.CommEdges()) == 0 {
 		t.Fatal("no communication observed at all")
 	}
 	fullW := map[Edge]uint64{}
-	for _, e := range full.CommEdges {
+	for _, e := range full.CommEdges() {
 		fullW[e.Edge] = e.Weight
 	}
 	aikW := map[Edge]uint64{}
-	for _, e := range aik.CommEdges {
+	for _, e := range aik.CommEdges() {
 		aikW[e.Edge] = e.Weight
 	}
 	// Every Aikido edge must exist in the full graph, and the total
@@ -148,16 +148,16 @@ func TestAikidoNearLossless(t *testing.T) {
 			t.Errorf("Aikido found edge %v (weight %d) absent from full graph", e, w)
 		}
 	}
-	if aik.CG.Communications == 0 {
+	if aik.CG().Communications == 0 {
 		t.Fatal("Aikido observed no communication")
 	}
-	lost := int64(full.CG.Communications) - int64(aik.CG.Communications)
+	lost := int64(full.CG().Communications) - int64(aik.CG().Communications)
 	if lost < 0 {
 		t.Errorf("Aikido observed more communication (%d) than full (%d)",
-			aik.CG.Communications, full.CG.Communications)
+			aik.CG().Communications, full.CG().Communications)
 	}
-	if float64(lost) > 0.10*float64(full.CG.Communications) {
-		t.Errorf("Aikido lost %d of %d communications (> 10%%)", lost, full.CG.Communications)
+	if float64(lost) > 0.10*float64(full.CG().Communications) {
+		t.Errorf("Aikido lost %d of %d communications (> 10%%)", lost, full.CG().Communications)
 	}
 }
 
@@ -169,23 +169,23 @@ func TestAikidoNearLossless(t *testing.T) {
 func TestAikidoMissesOneShotHandoff(t *testing.T) {
 	prog := producerConsumer(t, 80) // producer fits in one quantum
 	cfgFull := core.DefaultConfig(core.ModeFastTrackFull)
-	cfgFull.Analysis = core.AnalysisCommGraph
+	cfgFull.Analyses = []string{"commgraph"}
 	full, err := core.Run(prog, cfgFull)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgAik := core.DefaultConfig(core.ModeAikidoFastTrack)
-	cfgAik.Analysis = core.AnalysisCommGraph
+	cfgAik.Analyses = []string{"commgraph"}
 	aik, err := core.Run(prog, cfgAik)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if full.CG.Communications == 0 {
+	if full.CG().Communications == 0 {
 		t.Fatal("full instrumentation missed the handoff too (workload broken)")
 	}
-	if aik.CG.Communications != 0 {
+	if aik.CG().Communications != 0 {
 		t.Skipf("scheduling interleaved the producer after all (%d comms observed)",
-			aik.CG.Communications)
+			aik.CG().Communications)
 	}
 }
 
@@ -202,13 +202,13 @@ func TestAikidoCheaper(t *testing.T) {
 		t.Fatal(err)
 	}
 	cfgFull := core.DefaultConfig(core.ModeFastTrackFull)
-	cfgFull.Analysis = core.AnalysisCommGraph
+	cfgFull.Analyses = []string{"commgraph"}
 	full, err := core.Run(prog, cfgFull)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfgAik := core.DefaultConfig(core.ModeAikidoFastTrack)
-	cfgAik.Analysis = core.AnalysisCommGraph
+	cfgAik.Analyses = []string{"commgraph"}
 	aik, err := core.Run(prog, cfgAik)
 	if err != nil {
 		t.Fatal(err)

@@ -6,29 +6,29 @@ import (
 	"repro/internal/isa"
 )
 
-// runWith runs prog under mode with the given analysis at a fine quantum.
-func runWith(t *testing.T, prog *isa.Program, mode Mode, an AnalysisKind) *Result {
+// runWith runs prog under mode with the named analyses at a fine quantum.
+func runWith(t *testing.T, prog *isa.Program, mode Mode, analyses ...string) *Result {
 	t.Helper()
 	cfg := DefaultConfig(mode)
-	cfg.Analysis = an
+	cfg.Analyses = analyses
 	cfg.Engine.Quantum = 50
 	res, err := Run(prog, cfg)
 	if err != nil {
-		t.Fatalf("%v/%v: %v", mode, an, err)
+		t.Fatalf("%v/%v: %v", mode, analyses, err)
 	}
 	return res
 }
 
 func TestLockSetOverAikidoFindsDisciplineViolation(t *testing.T) {
 	prog := sharedProgram(60, false) // unlocked shared counter
-	res := runWith(t, prog, ModeAikidoFastTrack, AnalysisLockSet)
-	if len(res.Warnings) == 0 {
+	res := runWith(t, prog, ModeAikidoFastTrack, "lockset")
+	if len(res.Warnings()) == 0 {
 		t.Fatal("LockSet over Aikido missed the unlocked counter")
 	}
-	if len(res.Races) != 0 {
+	if len(res.Races()) != 0 {
 		t.Error("FastTrack races reported by a LockSet run")
 	}
-	if res.LS.Refinements == 0 {
+	if res.LS().Refinements == 0 {
 		t.Error("no lockset refinements recorded")
 	}
 }
@@ -63,25 +63,25 @@ func TestLockSetCleanOnLockedProgram(t *testing.T) {
 	prog := b.MustFinish()
 
 	for _, mode := range []Mode{ModeFastTrackFull, ModeAikidoFastTrack} {
-		res := runWith(t, prog, mode, AnalysisLockSet)
-		if len(res.Warnings) != 0 {
-			t.Errorf("%v: disciplined counter warned: %v", mode, res.Warnings[0])
+		res := runWith(t, prog, mode, "lockset")
+		if len(res.Warnings()) != 0 {
+			t.Errorf("%v: disciplined counter warned: %v", mode, res.Warnings()[0])
 		}
 	}
 }
 
 func TestLockSetFullAndAikidoAgree(t *testing.T) {
 	prog := sharedProgram(60, false)
-	full := runWith(t, prog, ModeFastTrackFull, AnalysisLockSet)
-	aikido := runWith(t, prog, ModeAikidoFastTrack, AnalysisLockSet)
-	if len(full.Warnings) == 0 || len(aikido.Warnings) == 0 {
-		t.Fatalf("warnings: full=%d aikido=%d", len(full.Warnings), len(aikido.Warnings))
+	full := runWith(t, prog, ModeFastTrackFull, "lockset")
+	aikido := runWith(t, prog, ModeAikidoFastTrack, "lockset")
+	if len(full.Warnings()) == 0 || len(aikido.Warnings()) == 0 {
+		t.Fatalf("warnings: full=%d aikido=%d", len(full.Warnings()), len(aikido.Warnings()))
 	}
 	fa := map[uint64]bool{}
-	for _, w := range full.Warnings {
+	for _, w := range full.Warnings() {
 		fa[w.Addr] = true
 	}
-	for _, w := range aikido.Warnings {
+	for _, w := range aikido.Warnings() {
 		if !fa[w.Addr] {
 			t.Errorf("aikido-only warning at %#x", w.Addr)
 		}
@@ -116,19 +116,19 @@ func TestLockSetFlagsFalsePositiveThatFastTrackAvoids(t *testing.T) {
 	b.Halt()
 	prog := b.MustFinish()
 
-	ft := runWith(t, prog, ModeFastTrackFull, AnalysisFastTrack)
-	ls := runWith(t, prog, ModeFastTrackFull, AnalysisLockSet)
-	if len(ft.Races) != 0 {
-		t.Errorf("FastTrack flagged join-ordered writes: %v", ft.Races)
+	ft := runWith(t, prog, ModeFastTrackFull, "fasttrack")
+	ls := runWith(t, prog, ModeFastTrackFull, "lockset")
+	if len(ft.Races()) != 0 {
+		t.Errorf("FastTrack flagged join-ordered writes: %v", ft.Races())
 	}
 	found := false
-	for _, w := range ls.Warnings {
+	for _, w := range ls.Warnings() {
 		if w.Addr == x {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("LockSet did not flag the unlocked (but ordered) writes: %v", ls.Warnings)
+		t.Errorf("LockSet did not flag the unlocked (but ordered) writes: %v", ls.Warnings())
 	}
 }
 
@@ -136,13 +136,13 @@ func TestSamplingTradesAccuracyForSpeed(t *testing.T) {
 	// On a long racy run, the sampler must be faster than full FastTrack
 	// in simulated cycles while analyzing only a fraction of accesses.
 	prog := sharedProgram(800, false)
-	full := runWith(t, prog, ModeFastTrackFull, AnalysisFastTrack)
-	sampled := runWith(t, prog, ModeFastTrackFull, AnalysisSampledFastTrack)
+	full := runWith(t, prog, ModeFastTrackFull, "fasttrack")
+	sampled := runWith(t, prog, ModeFastTrackFull, "sampled")
 
 	if sampled.Cycles >= full.Cycles {
 		t.Errorf("sampling (%d cycles) not cheaper than full (%d)", sampled.Cycles, full.Cycles)
 	}
-	if len(full.Races) == 0 {
+	if len(full.Races()) == 0 {
 		t.Fatal("full FastTrack missed the counter race")
 	}
 	// The sampler's burst usually catches the hot counter race too (the
@@ -151,26 +151,26 @@ func TestSamplingTradesAccuracyForSpeed(t *testing.T) {
 	// sampler unit tests. Here we only require soundness of what it does
 	// report: every sampled-detector race is one the full detector found.
 	fa := map[uint64]bool{}
-	for _, r := range full.Races {
+	for _, r := range full.Races() {
 		fa[r.Addr] = true
 	}
-	for _, r := range sampled.Races {
+	for _, r := range sampled.Races() {
 		if !fa[r.Addr] {
 			t.Errorf("sampler invented a race at %#x", r.Addr)
 		}
 	}
-	if sampled.Sampling.Sampled == 0 {
+	if sampled.Sampling().Sampled == 0 {
 		t.Error("sampler analyzed nothing")
 	}
-	if sampled.Sampling.Sampled >= sampled.Sampling.Seen {
+	if sampled.Sampling().Sampled >= sampled.Sampling().Seen {
 		t.Error("sampler never skipped an access on a hot loop")
 	}
 }
 
-func TestAnalysisKindDefaultsToFastTrack(t *testing.T) {
+func TestDefaultAnalysisIsFastTrack(t *testing.T) {
 	prog := sharedProgram(30, true)
-	res := runWith(t, prog, ModeAikidoFastTrack, AnalysisFastTrack)
-	if res.FT.Reads+res.FT.Writes == 0 {
+	res := runWith(t, prog, ModeAikidoFastTrack, "fasttrack")
+	if res.FT().Reads+res.FT().Writes == 0 {
 		t.Error("default analysis did not run")
 	}
 }
@@ -205,20 +205,20 @@ func TestAtomicityCheckerOverAikido(t *testing.T) {
 	b.Halt()
 	prog := b.MustFinish()
 
-	res := runWith(t, prog, ModeAikidoFastTrack, AnalysisAtomicity)
-	if len(res.Violations) == 0 {
+	res := runWith(t, prog, ModeAikidoFastTrack, "atomicity")
+	if len(res.Violations()) == 0 {
 		t.Fatal("atomicity checker missed the interleaved unlocked write")
 	}
 	found := false
-	for _, viol := range res.Violations {
+	for _, viol := range res.Violations() {
 		if viol.Addr == v && viol.Pattern == "R-W-W" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("expected R-W-W on %#x, got %v", v, res.Violations)
+		t.Errorf("expected R-W-W on %#x, got %v", v, res.Violations())
 	}
-	if res.Atom.Regions == 0 {
+	if res.Atom().Regions == 0 {
 		t.Error("no regions tracked")
 	}
 
@@ -241,8 +241,8 @@ func TestAtomicityCheckerOverAikido(t *testing.T) {
 	b2.Label("w")
 	b2.LoopN(isa.R2, 50, body)
 	b2.Halt()
-	clean := runWith(t, b2.MustFinish(), ModeAikidoFastTrack, AnalysisAtomicity)
-	if len(clean.Violations) != 0 {
-		t.Errorf("properly locked increments reported: %v", clean.Violations)
+	clean := runWith(t, b2.MustFinish(), ModeAikidoFastTrack, "atomicity")
+	if len(clean.Violations()) != 0 {
+		t.Errorf("properly locked increments reported: %v", clean.Violations())
 	}
 }

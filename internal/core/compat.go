@@ -1,0 +1,194 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/atomicity"
+	"repro/internal/commgraph"
+	"repro/internal/fasttrack"
+	"repro/internal/lockset"
+	"repro/internal/sampler"
+)
+
+// This file is the one-release compatibility shim over the registry
+// refactor: the per-detector Result fields (Races, Warnings, FT, LS, …)
+// became thin accessors over the name-keyed Findings map. New code should
+// consume Result.Findings (or AnalysisFindings) and type-assert to the
+// producing package's findings type.
+
+// AnalysisNames returns the names of the analyses that ran, sorted — the
+// deterministic iteration order for the Findings map.
+func (r *Result) AnalysisNames() []string {
+	if len(r.Findings) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(r.Findings))
+	for n := range r.Findings {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// sortedFindings iterates the findings map in name order, so accessors are
+// deterministic regardless of map iteration.
+func (r *Result) sortedFindings() []analysis.Findings {
+	names := r.AnalysisNames()
+	out := make([]analysis.Findings, len(names))
+	for i, n := range names {
+		out[i] = r.Findings[n]
+	}
+	return out
+}
+
+// AnalysisFindings returns the findings of the analysis registered under
+// name (aliases resolve), or nil if it did not run.
+func (r *Result) AnalysisFindings(name string) analysis.Findings {
+	return r.Findings[analysis.Resolve(name)]
+}
+
+// TotalFindings sums stored findings across every analysis that ran.
+func (r *Result) TotalFindings() int {
+	n := 0
+	for _, f := range r.Findings {
+		n += f.Len()
+	}
+	return n
+}
+
+// unwrap peels sampler wrapping so FastTrack-derived findings surface
+// through the deprecated accessors whether or not they were sampled.
+func unwrap(f analysis.Findings) analysis.Findings {
+	if sf, ok := f.(*sampler.Findings); ok {
+		return sf.Inner
+	}
+	return f
+}
+
+// Races returns the races found by the FastTrack analysis (sampled or
+// not), if one ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) Races() []fasttrack.Race {
+	for _, f := range r.sortedFindings() {
+		if ft, ok := unwrap(f).(*fasttrack.Findings); ok {
+			return ft.Races
+		}
+	}
+	return nil
+}
+
+// FT returns the FastTrack work counters, if a FastTrack analysis ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) FT() fasttrack.Counters {
+	for _, f := range r.sortedFindings() {
+		if ft, ok := unwrap(f).(*fasttrack.Findings); ok {
+			return ft.Counters
+		}
+	}
+	return fasttrack.Counters{}
+}
+
+// Warnings returns the LockSet discipline violations, if LockSet ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) Warnings() []lockset.Warning {
+	for _, f := range r.sortedFindings() {
+		if ls, ok := unwrap(f).(*lockset.Findings); ok {
+			return ls.Warnings
+		}
+	}
+	return nil
+}
+
+// LS returns the LockSet work counters, if LockSet ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) LS() lockset.Counters {
+	for _, f := range r.sortedFindings() {
+		if ls, ok := unwrap(f).(*lockset.Findings); ok {
+			return ls.Counters
+		}
+	}
+	return lockset.Counters{}
+}
+
+// Violations returns the atomicity violations, if the checker ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) Violations() []atomicity.Violation {
+	for _, f := range r.sortedFindings() {
+		if at, ok := unwrap(f).(*atomicity.Findings); ok {
+			return at.Violations
+		}
+	}
+	return nil
+}
+
+// Atom returns the atomicity checker's counters, if it ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) Atom() atomicity.Counters {
+	for _, f := range r.sortedFindings() {
+		if at, ok := unwrap(f).(*atomicity.Findings); ok {
+			return at.Counters
+		}
+	}
+	return atomicity.Counters{}
+}
+
+// Sampling returns the sampler's counters, if a sampled analysis ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) Sampling() sampler.Counters {
+	for _, f := range r.sortedFindings() {
+		if sf, ok := f.(*sampler.Findings); ok {
+			return sf.Counters
+		}
+	}
+	return sampler.Counters{}
+}
+
+// CG returns the communication-graph profiler's counters, if it ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) CG() commgraph.Counters {
+	for _, f := range r.sortedFindings() {
+		if cg, ok := unwrap(f).(*commgraph.Findings); ok {
+			return cg.Counters
+		}
+	}
+	return commgraph.Counters{}
+}
+
+// CommEdges returns the communication graph's weighted edges, if the
+// profiler ran.
+//
+// Deprecated: consume Result.Findings.
+func (r *Result) CommEdges() []commgraph.WeightedEdge {
+	for _, f := range r.sortedFindings() {
+		if cg, ok := unwrap(f).(*commgraph.Findings); ok {
+			return cg.Edges
+		}
+	}
+	return nil
+}
+
+// FastTrack returns the live FastTrack detector instance, if one is
+// configured (directly or under the sampler) — the surface the
+// var-store equivalence tests use to swap implementations before a run.
+func (s *System) FastTrack() *fasttrack.Detector {
+	for _, a := range s.Analyses {
+		switch d := a.(type) {
+		case *fasttrack.Detector:
+			return d
+		case *sampler.Detector:
+			if ft, ok := d.Inner().(*fasttrack.Detector); ok {
+				return ft
+			}
+		}
+	}
+	return nil
+}

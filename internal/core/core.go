@@ -1,16 +1,26 @@
 // Package core assembles the complete Aikido system (paper Figure 1): the
 // AikidoVM hypervisor at the bottom, the guest process above it, the
 // DynamoRIO-model DBI engine with the AikidoSD sharing detector as its
-// tool, Umbra shadow memory, mirror pages, and a pluggable shared-data
-// analysis (FastTrack by default).
+// tool, Umbra shadow memory, mirror pages, and any number of pluggable
+// shared-data analyses drawn from the analysis registry (FastTrack by
+// default).
+//
+// Analyses are selected by name (Config.Analyses) and fan out through one
+// multiplexed dispatch path: a single DBI+sharing pass hosts FastTrack,
+// LockSet, the atomicity checker and the communication-graph profiler
+// simultaneously, amortizing the instrumented execution over every
+// analysis — the framework claim of the paper's §1.1 and §7 made
+// operational. core itself knows no detector by name: detector packages
+// register themselves with internal/analysis, and results come back as a
+// name-keyed findings map.
 //
 // The same entry point runs the paper's comparison configurations:
 //
 //   - ModeNative: plain execution, no DBI, no analysis — the normalization
 //     baseline of Figure 5;
 //   - ModeDBI: DynamoRIO-only overhead (no tool);
-//   - ModeFastTrackFull: FastTrack instrumenting every memory access (the
-//     paper's "FastTrack" bars);
+//   - ModeFastTrackFull: the selected analyses instrumenting every memory
+//     access (the paper's "FastTrack" bars under the default selection);
 //   - ModeAikidoFastTrack: the full Aikido stack (the "Aikido-FastTrack"
 //     bars);
 //   - ModeAikidoProfile: AikidoSD alone as a sharing profiler (no
@@ -21,22 +31,31 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/atomicity"
-	"repro/internal/commgraph"
+	"repro/internal/analysis"
 	"repro/internal/dbi"
-	"repro/internal/fasttrack"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/isa"
-	"repro/internal/lockset"
 	"repro/internal/mirror"
 	"repro/internal/pagetable"
 	"repro/internal/provider"
-	"repro/internal/sampler"
 	"repro/internal/sharing"
 	"repro/internal/stats"
 	"repro/internal/umbra"
 	"repro/internal/vm"
+
+	// The in-tree detectors register themselves with the analysis
+	// registry in init(); importing them here makes every registered
+	// analysis available to any System. New detectors land by adding a
+	// package and an import — no enum case, no switch.
+	_ "repro/internal/atomicity"
+	_ "repro/internal/commgraph"
+	_ "repro/internal/fasttrack"
+	_ "repro/internal/lockset"
+	_ "repro/internal/memcheck"
+	_ "repro/internal/sampler"
+	_ "repro/internal/spbags"
+	_ "repro/internal/taint"
 )
 
 // Mode selects the system configuration.
@@ -68,48 +87,21 @@ func (m Mode) String() string {
 	return "mode?"
 }
 
-// AnalysisKind selects the shared-data analysis plugged into the framework.
-type AnalysisKind uint8
-
-// Analyses.
-const (
-	// AnalysisFastTrack is the happens-before race detector of §4.
-	AnalysisFastTrack AnalysisKind = iota
-	// AnalysisLockSet is the Eraser locking-discipline checker (§7.3),
-	// demonstrating that Aikido hosts analyses other than FastTrack.
-	AnalysisLockSet
-	// AnalysisSampledFastTrack is the LiteRace-style sampling baseline
-	// (§1, §7.3): fast, but trades false negatives for speed — the
-	// trade-off Aikido exists to avoid.
-	AnalysisSampledFastTrack
-	// AnalysisAtomicity is the AVIO-style atomicity-violation checker
-	// (reference [26]), the other class of shared-data analyses the
-	// paper's introduction motivates.
-	AnalysisAtomicity
-	// AnalysisCommGraph is the thread-communication-graph profiler — a
-	// pure sharing-structure analysis for which Aikido's filtering is
-	// lossless (private accesses carry no communication).
-	AnalysisCommGraph
-)
-
-// analysis is the seam every pluggable shared-data analysis implements:
-// access events (full or shared-only) plus the guest synchronization hooks.
-type analysis interface {
-	sharing.Analysis
-	OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
-	OnAcquire(tid guest.TID, lock int64)
-	OnRelease(tid guest.TID, lock int64)
-	OnFork(parent, child guest.TID)
-	OnJoin(joiner, child guest.TID)
-	OnBarrierWait(tid guest.TID, id int64)
-	OnBarrierRelease(tid guest.TID, id int64)
-	AddThread(delta int)
-}
+// DefaultAnalyses is the analysis selection used when Config.Analyses is
+// nil: the paper's FastTrack configuration.
+var DefaultAnalyses = []string{"fasttrack"}
 
 // Config parameterizes a System.
 type Config struct {
-	Mode     Mode
-	Analysis AnalysisKind
+	Mode Mode
+	// Analyses names the shared-data analyses to run, resolved through
+	// the analysis registry ("fasttrack", "lockset", "atomicity",
+	// "commgraph", "sampled:<name>", "taint", "memcheck", "spbags", plus
+	// short aliases like "ft"). Multiple names multiplex onto one
+	// instrumented execution. nil selects DefaultAnalyses; an empty
+	// non-nil slice runs no analysis at all (instrumentation without a
+	// client — the cost floor the mux-equivalence tests subtract).
+	Analyses []string
 	Costs    stats.CostModel
 	Engine   dbi.Config
 
@@ -129,7 +121,18 @@ type Config struct {
 	// are not.
 	Provider provider.Kind
 
-	// MaxRaces caps stored race reports (0 = detector default).
+	// MaxFindings caps each selected analysis's stored findings — races,
+	// warnings, violations, flows — uniformly (0 = each detector's
+	// default). Before the registry existed this knob was FastTrack-only
+	// and silently did nothing when LockSet or the atomicity checker was
+	// selected.
+	MaxFindings int
+
+	// MaxRaces caps stored findings.
+	//
+	// Deprecated: use MaxFindings, which applies to every selected
+	// analysis. MaxRaces is honored (as a MaxFindings fallback) for one
+	// release.
 	MaxRaces int
 
 	// NoMirror is an ablation: instead of redirecting shared accesses to
@@ -144,6 +147,21 @@ func DefaultConfig(m Mode) Config {
 	return Config{Mode: m, Costs: stats.DefaultCosts(), Engine: dbi.DefaultConfig()}
 }
 
+// WithAnalyses returns a copy of the config selecting the named analyses.
+func (c Config) WithAnalyses(names ...string) Config {
+	c.Analyses = names
+	return c
+}
+
+// maxFindings resolves the findings cap, honoring the deprecated MaxRaces
+// field when MaxFindings is unset.
+func (c Config) maxFindings() int {
+	if c.MaxFindings > 0 {
+		return c.MaxFindings
+	}
+	return c.MaxRaces
+}
+
 // System is one assembled simulation.
 type System struct {
 	Cfg     Config
@@ -152,40 +170,56 @@ type System struct {
 	Clock   *stats.Clock
 	Engine  *dbi.Engine
 
-	HV      *hypervisor.Hypervisor // nil unless Aikido mode with the AikidoVM provider
-	Prov    provider.Interface     // nil unless Aikido mode
-	Um      *umbra.Umbra           // nil in native/dbi modes
-	Mir     *mirror.Manager        // nil unless Aikido mode
-	SD      *sharing.Detector      // nil unless Aikido mode
-	FT      *fasttrack.Detector    // nil unless a FastTrack-based analysis runs
-	LS      *lockset.Detector      // nil unless the LockSet analysis runs
-	Sampler *sampler.Detector      // nil unless the sampling analysis runs
-	Atom    *atomicity.Detector    // nil unless the atomicity analysis runs
-	CG      *commgraph.Analysis    // nil unless the communication-graph analysis runs
+	HV   *hypervisor.Hypervisor // nil unless Aikido mode with the AikidoVM provider
+	Prov provider.Interface     // nil unless Aikido mode
+	Um   *umbra.Umbra           // nil in native/dbi modes
+	Mir  *mirror.Manager        // nil unless Aikido mode
+	SD   *sharing.Detector      // nil unless Aikido mode
 
-	an analysis // the active analysis (nil in native/dbi/profile modes)
+	// Analyses are the active analyses in configuration order (empty in
+	// native/dbi/profile modes). Callers needing a concrete detector's
+	// extended surface (equivalence tests, taint source/sink setup)
+	// type-assert the members.
+	Analyses []analysis.Analysis
+
+	an analysis.Analysis // the mux over Analyses (nil when none run)
 }
 
-// newAnalysis instantiates the configured analysis.
-func (s *System) newAnalysis() analysis {
-	switch s.Cfg.Analysis {
-	case AnalysisLockSet:
-		s.LS = lockset.New(s.Clock, s.Cfg.Costs)
-		return s.LS
-	case AnalysisSampledFastTrack:
-		s.Sampler = sampler.New(s.Clock, s.Cfg.Costs, sampler.DefaultConfig())
-		s.FT = s.Sampler.FT
-		return s.Sampler
-	case AnalysisAtomicity:
-		s.Atom = atomicity.New(s.Clock, s.Cfg.Costs)
-		return s.Atom
-	case AnalysisCommGraph:
-		s.CG = commgraph.New(s.Clock, s.Cfg.Costs)
-		return s.CG
-	default:
-		s.FT = fasttrack.New(s.Clock, s.Cfg.Costs)
-		return s.FT
+// Analysis returns the active analysis registered under the (canonical)
+// name, or nil.
+func (s *System) Analysis(name string) analysis.Analysis {
+	canon := analysis.Resolve(name)
+	for _, a := range s.Analyses {
+		if a.Name() == canon {
+			return a
+		}
 	}
+	return nil
+}
+
+// newAnalyses instantiates the configured analyses and the mux that fans
+// the instrumented execution out to them. It must run after shadow memory
+// is attached (factories may require Env.Umbra).
+func (s *System) newAnalyses() (analysis.Analysis, error) {
+	names := s.Cfg.Analyses
+	if names == nil {
+		names = DefaultAnalyses
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	env := analysis.Env{Clock: s.Clock, Costs: s.Cfg.Costs, Process: s.Process, Umbra: s.Um}
+	as, err := analysis.NewAll(names, env)
+	if err != nil {
+		return nil, err
+	}
+	if max := s.Cfg.maxFindings(); max > 0 {
+		for _, a := range as {
+			a.SetMaxFindings(max)
+		}
+	}
+	s.Analyses = as
+	return analysis.NewMux(as...), nil
 }
 
 // NewSystem loads prog and assembles the configured stack.
@@ -209,7 +243,9 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 
 	case ModeFastTrackFull:
 		s.Um = umbra.Attach(p, clock, cfg.Costs)
-		s.an = s.newAnalysis()
+		if s.an, err = s.newAnalyses(); err != nil {
+			return nil, err
+		}
 		tool := &fullTool{um: s.Um, an: s.an}
 		s.Engine = dbi.New(p, nil, tool, clock, cfg.Costs, cfg.Engine)
 
@@ -233,8 +269,12 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 		s.Mir = mirror.Attach(p)
 		var client sharing.Analysis
 		if cfg.Mode == ModeAikidoFastTrack {
-			s.an = s.newAnalysis()
-			client = s.an
+			if s.an, err = s.newAnalyses(); err != nil {
+				return nil, err
+			}
+			if s.an != nil {
+				client = s.an
+			}
 		}
 		s.SD = sharing.Attach(p, s.Prov, s.Um, s.Mir, client, clock, cfg.Costs)
 		if cfg.NoMirror {
@@ -249,15 +289,44 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
 	}
 
-	if s.FT != nil && cfg.MaxRaces > 0 {
-		s.FT.MaxRaces = cfg.MaxRaces
-	}
 	s.wireHooks()
 	return s, nil
 }
 
+// retireObserver is the optional surface an analysis implements to watch
+// every retired instruction (the taint tracker's register-dataflow half).
+// Observers are wired directly, not through the mux: most analyses do not
+// want a per-instruction callback, and the common case must stay free.
+type retireObserver interface {
+	OnRetire(t *guest.Thread, pc isa.PC, in isa.Instr)
+}
+
+// analysisWrapper is the surface wrapper analyses (the sampler) expose so
+// optional interfaces of the wrapped analysis stay reachable.
+type analysisWrapper interface {
+	Inner() analysis.Analysis
+}
+
+// asRetireObserver unwraps a (possibly wrapped) analysis down to a retire
+// observer. Register dataflow is never sampled away — like
+// synchronization, it must stay sound for the wrapped analysis's state to
+// mean anything — so the observer is the innermost analysis itself.
+func asRetireObserver(a analysis.Analysis) (retireObserver, bool) {
+	for {
+		if ro, ok := a.(retireObserver); ok {
+			return ro, true
+		}
+		w, ok := a.(analysisWrapper)
+		if !ok {
+			return nil, false
+		}
+		a = w.Inner()
+	}
+}
+
 // wireHooks connects guest events to the hypervisor (context switches) and
-// the analysis (synchronization happens-before edges), charging their costs.
+// the analyses (synchronization happens-before edges), charging their
+// costs.
 func (s *System) wireHooks() {
 	p := s.Process
 	costs := s.Cfg.Costs
@@ -300,6 +369,7 @@ func (s *System) wireHooks() {
 			s.Prov.ThreadExited(t.ID)
 		}
 		if an != nil {
+			an.OnExit(t.ID)
 			an.AddThread(-1)
 		}
 	}
@@ -320,6 +390,24 @@ func (s *System) wireHooks() {
 		p.Hooks.BarrierWait = func(t *guest.Thread, id int64) { an.OnBarrierWait(t.ID, id) }
 		p.Hooks.BarrierRelease = func(t *guest.Thread, id int64) { an.OnBarrierRelease(t.ID, id) }
 	}
+	// Wire retire observers (taint's register half) without taxing the
+	// common case: the engine hook is installed only when some analysis
+	// asks for it.
+	var observers []retireObserver
+	for _, a := range s.Analyses {
+		if ro, ok := asRetireObserver(a); ok {
+			observers = append(observers, ro)
+		}
+	}
+	if len(observers) == 1 {
+		s.Engine.OnRetire = observers[0].OnRetire
+	} else if len(observers) > 1 {
+		s.Engine.OnRetire = func(t *guest.Thread, pc isa.PC, in isa.Instr) {
+			for _, ro := range observers {
+				ro.OnRetire(t, pc, in)
+			}
+		}
+	}
 }
 
 // fullTool is the conservative baseline: analysis instrumentation on every
@@ -327,7 +415,7 @@ func (s *System) wireHooks() {
 // FastTrack), with Umbra providing the metadata translation.
 type fullTool struct {
 	um *umbra.Umbra
-	an analysis
+	an analysis.Analysis
 }
 
 // Instrument implements dbi.Tool.
@@ -337,7 +425,9 @@ func (f *fullTool) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
 	}
 	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
 		f.um.Translate(tid, addr) // metadata mapping, charges cycles
-		f.an.OnAccess(tid, pc, addr, size, write)
+		if f.an != nil {
+			f.an.OnAccess(tid, pc, addr, size, write)
+		}
 		return addr
 	}}
 }
@@ -379,20 +469,13 @@ type Result struct {
 	Prov   provider.Stats
 	Umbra  umbra.Stats
 	SD     sharing.Counters
-	FT     fasttrack.Counters
-	Races  []fasttrack.Race
 
-	// LockSet results (when the LockSet analysis is selected).
-	LS       lockset.Counters
-	Warnings []lockset.Warning
-	// Sampling counters (when the sampling analysis is selected).
-	Sampling sampler.Counters
-	// Atomicity results (when the atomicity analysis is selected).
-	Atom       atomicity.Counters
-	Violations []atomicity.Violation
-	// Communication-graph results (when that analysis is selected).
-	CG        commgraph.Counters
-	CommEdges []commgraph.WeightedEdge
+	// Findings maps each selected analysis's canonical name to its
+	// findings. Typed detail (races with PCs, lockset warnings, …) is
+	// recovered by asserting to the producing package's findings type;
+	// the deprecated accessors in compat.go do exactly that for the
+	// pre-registry result fields.
+	Findings map[string]analysis.Findings
 
 	GuestContextSwitches uint64
 	GuestSyscalls        uint64
@@ -425,24 +508,11 @@ func (s *System) Run() (*Result, error) {
 	if s.SD != nil {
 		r.SD = s.SD.C
 	}
-	if s.FT != nil {
-		r.FT = s.FT.C
-		r.Races = s.FT.Races()
-	}
-	if s.LS != nil {
-		r.LS = s.LS.C
-		r.Warnings = s.LS.Warnings()
-	}
-	if s.Sampler != nil {
-		r.Sampling = s.Sampler.C
-	}
-	if s.Atom != nil {
-		r.Atom = s.Atom.C
-		r.Violations = s.Atom.Violations()
-	}
-	if s.CG != nil {
-		r.CG = s.CG.C
-		r.CommEdges = s.CG.Edges()
+	if len(s.Analyses) > 0 {
+		r.Findings = make(map[string]analysis.Findings, len(s.Analyses))
+		for _, a := range s.Analyses {
+			r.Findings[a.Name()] = a.Report()
+		}
 	}
 	return r, nil
 }
@@ -460,7 +530,7 @@ func Run(prog *isa.Program, cfg Config) (*Result, error) {
 // counters the concurrent runner's per-worker tallies sum over.
 func (r *Result) TallyCounters() (cycles, instructions, memRefs, instrumented, shared, races uint64) {
 	return r.Cycles, r.Engine.Instructions, r.Engine.MemRefs,
-		r.Engine.InstrumentedExecs, r.SD.SharedPageAccesses, uint64(len(r.Races))
+		r.Engine.InstrumentedExecs, r.SD.SharedPageAccesses, uint64(len(r.Races()))
 }
 
 // SharedAccessFraction is Figure 6's metric: the fraction of all memory-

@@ -28,7 +28,7 @@ func TestVarStoreEquivalence(t *testing.T) {
 					t.Fatalf("%s/%s: new system: %v", bench.Name, mode, err)
 				}
 				if reference {
-					s.FT.UseReferenceVarStore()
+					s.FastTrack().UseReferenceVarStore()
 				}
 				res, err := s.Run()
 				if err != nil {
@@ -42,13 +42,13 @@ func TestVarStoreEquivalence(t *testing.T) {
 				t.Errorf("%s/%s: cycles diverge: paged %d, reference %d",
 					bench.Name, mode, paged.Cycles, ref.Cycles)
 			}
-			if !reflect.DeepEqual(paged.Races, ref.Races) {
+			if !reflect.DeepEqual(paged.Races(), ref.Races()) {
 				t.Errorf("%s/%s: races diverge:\npaged:     %v\nreference: %v",
-					bench.Name, mode, paged.Races, ref.Races)
+					bench.Name, mode, paged.Races(), ref.Races())
 			}
-			if paged.FT != ref.FT {
+			if paged.FT() != ref.FT() {
 				t.Errorf("%s/%s: FastTrack counters diverge:\npaged:     %+v\nreference: %+v",
-					bench.Name, mode, paged.FT, ref.FT)
+					bench.Name, mode, paged.FT(), ref.FT())
 			}
 			if paged.Engine != ref.Engine {
 				t.Errorf("%s/%s: engine counters diverge:\npaged:     %+v\nreference: %+v",

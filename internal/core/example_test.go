@@ -39,7 +39,7 @@ func ExampleRun() {
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("only shared accesses analyzed:",
 		res.Engine.InstrumentedExecs > 0 && res.Engine.InstrumentedExecs < res.Engine.MemRefs)
-	fmt.Println("race caught:", len(res.Races) > 0)
+	fmt.Println("race caught:", len(res.Races()) > 0)
 	// Output:
 	// mode: Aikido-FastTrack
 	// only shared accesses analyzed: true
@@ -56,7 +56,7 @@ func ExampleRun_native() {
 	}
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("instrumented:", res.Engine.InstrumentedExecs)
-	fmt.Println("races:", len(res.Races))
+	fmt.Println("races:", len(res.Races()))
 	// Output:
 	// mode: native
 	// instrumented: 0
@@ -94,8 +94,8 @@ func ExampleRun_fastTrackFull() {
 		panic(err)
 	}
 	fmt.Println("mode:", res.Mode)
-	fmt.Println("every access analyzed:", res.FT.Reads+res.FT.Writes == res.Engine.MemRefs)
-	fmt.Println("race caught:", len(res.Races) > 0)
+	fmt.Println("every access analyzed:", res.FT().Reads+res.FT().Writes == res.Engine.MemRefs)
+	fmt.Println("race caught:", len(res.Races()) > 0)
 	// Output:
 	// mode: FastTrack
 	// every access analyzed: true
@@ -113,7 +113,7 @@ func ExampleRun_aikidoProfile() {
 	}
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("sharing observed:", res.SD.PagesShared > 0 && res.SD.SharedPageAccesses > 0)
-	fmt.Println("races:", len(res.Races))
+	fmt.Println("races:", len(res.Races()))
 	// Output:
 	// mode: Aikido-profile
 	// sharing observed: true

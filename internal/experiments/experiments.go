@@ -15,9 +15,15 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/analysis"
+	"repro/internal/atomicity"
+	"repro/internal/commgraph"
 	"repro/internal/core"
+	"repro/internal/fasttrack"
+	"repro/internal/lockset"
 	"repro/internal/parsec"
 	"repro/internal/runner"
+	"repro/internal/sampler"
 	"repro/internal/stats"
 )
 
@@ -35,6 +41,12 @@ type Options struct {
 	// so the bytes depend only on simulated metrics. The CI equivalence
 	// leg uses this to diff -workers 1 against -workers 8.
 	Deterministic bool
+	// Analyses overrides the analysis selection for every
+	// analysis-bearing cell (registry names; nil = the default FastTrack
+	// configuration). Multiple names multiplex onto each cell's single
+	// pass. CI diffs -analysis fasttrack against the default to pin the
+	// single-analysis path byte-identical through the registry seam.
+	Analyses []string
 }
 
 // DefaultOptions is the full-size harness configuration.
@@ -84,11 +96,16 @@ var sweepModes = []struct {
 	{"Aikido", core.ModeAikidoFastTrack},
 }
 
-// modeCells returns one cell per sweep mode for benchmark b.
-func modeCells(b parsec.Benchmark) []runner.Spec {
+// modeCells returns one cell per sweep mode for benchmark b. The analysis
+// selection applies to the analysis-bearing modes (native ignores it).
+func (o Options) modeCells(b parsec.Benchmark) []runner.Spec {
 	specs := make([]runner.Spec, len(sweepModes))
 	for i, m := range sweepModes {
-		specs[i] = cell(b, m.label, core.DefaultConfig(m.mode))
+		cfg := core.DefaultConfig(m.mode)
+		if m.mode != core.ModeNative {
+			cfg.Analyses = o.Analyses
+		}
+		specs[i] = cell(b, m.label, cfg)
 	}
 	return specs
 }
@@ -112,7 +129,7 @@ func Figure5(o Options) ([]Fig5Row, error) {
 	benches := parsec.All()
 	var specs []runner.Spec
 	for _, b := range benches {
-		specs = append(specs, modeCells(o.apply(b))...)
+		specs = append(specs, o.modeCells(o.apply(b))...)
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
@@ -127,8 +144,8 @@ func Figure5(o Options) ([]Fig5Row, error) {
 			Name:        b.Name,
 			FastTrack:   ft.Slowdown(native),
 			Aikido:      aft.Slowdown(native),
-			RacesFT:     len(ft.Races),
-			RacesAikido: len(aft.Races),
+			RacesFT:     len(ft.Races()),
+			RacesAikido: len(aft.Races()),
 		}
 		r.Speedup = r.FastTrack / r.Aikido
 		rows = append(rows, r)
@@ -229,7 +246,7 @@ func Table1(o Options) ([]Table1Cell, error) {
 		for _, threads := range table1Sweep.threads {
 			opt := o
 			opt.Threads = threads
-			specs = append(specs, modeCells(opt.apply(b))...)
+			specs = append(specs, opt.modeCells(opt.apply(b))...)
 			shape = append(shape, Table1Cell{
 				Name:           name,
 				Threads:        threads,
@@ -411,21 +428,35 @@ func WriteAblations(w io.Writer, rows []AblationRow) {
 // canneal model.
 type DetectorRow struct {
 	Variant string
-	// Slow is the slowdown vs native.
+	// Slow is the slowdown vs native. Rows extracted from the multiplexed
+	// run share the cost of that single pass.
 	Slow float64
-	// Findings is the number of distinct races/violations reported.
+	// Findings is the number of distinct races/warnings/violations.
 	Findings int
 	// Analyzed is how many access events the analysis processed.
 	Analyzed uint64
 	// FoundRNGRace reports whether the §5.3 RNG race was caught.
 	FoundRNGRace bool
+	// Multiplexed marks rows that came out of the single multiplexed
+	// Aikido pass (one execution hosting every registry analysis at
+	// once), rather than a dedicated run.
+	Multiplexed bool
 }
 
+// muxedDetectors is the analysis set the detectors extension multiplexes
+// onto one Aikido pass.
+var muxedDetectors = []string{"fasttrack", "lockset", "atomicity", "commgraph"}
+
 // ExtensionDetectors runs the canneal model (with its §5.3 RNG race) under
-// every hosted analysis: full FastTrack, Aikido-FastTrack, sampling
-// FastTrack (LiteRace-style), and LockSet over Aikido. It quantifies the
-// paper's positioning: sampling is fast but can miss races; Aikido is fast
-// with only the first-access window; LockSet trades precision differently.
+// the hosted analyses. Since the registry refactor, the Aikido-hosted
+// detectors — FastTrack, LockSet, the atomicity checker, the
+// communication-graph profiler — all ride ONE multiplexed execution
+// instead of one full run each: the sweep is native + full FastTrack +
+// sampled FastTrack + a single mux cell, and the per-analysis rows are
+// unpacked from the mux run's findings map. It quantifies the paper's
+// positioning: sampling is fast but can miss races; Aikido is fast with
+// only the first-access window; LockSet trades precision differently —
+// and the framework amortizes one DBI+sharing pass over all of them.
 func ExtensionDetectors(o Options) ([]DetectorRow, error) {
 	o = o.normalize()
 	b, err := parsec.ByName("canneal")
@@ -434,52 +465,69 @@ func ExtensionDetectors(o Options) ([]DetectorRow, error) {
 	}
 	bb := o.apply(b)
 
-	variants := []struct {
-		label string
-		mode  core.Mode
-		an    core.AnalysisKind
-	}{
-		{"fasttrack-full", core.ModeFastTrackFull, core.AnalysisFastTrack},
-		{"aikido-fasttrack", core.ModeAikidoFastTrack, core.AnalysisFastTrack},
-		{"sampled-fasttrack", core.ModeFastTrackFull, core.AnalysisSampledFastTrack},
-		{"lockset-aikido", core.ModeAikidoFastTrack, core.AnalysisLockSet},
-	}
-	specs := []runner.Spec{cell(bb, "native", core.DefaultConfig(core.ModeNative))}
-	for _, v := range variants {
-		cfg := core.DefaultConfig(v.mode)
-		cfg.Analysis = v.an
-		specs = append(specs, cell(bb, v.label, cfg))
+	muxCfg := core.DefaultConfig(core.ModeAikidoFastTrack).WithAnalyses(muxedDetectors...)
+	specs := []runner.Spec{
+		cell(bb, "native", core.DefaultConfig(core.ModeNative)),
+		cell(bb, "fasttrack-full", core.DefaultConfig(core.ModeFastTrackFull)),
+		cell(bb, "sampled-fasttrack", core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses("sampled")),
+		cell(bb, "aikido-mux", muxCfg),
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
 		return nil, err
 	}
 	native := cells[0].Res
-	var rows []DetectorRow
-	for i, v := range variants {
-		res := cells[1+i].Res
-		row := DetectorRow{Variant: v.label, Slow: res.Slowdown(native)}
-		switch v.an {
-		case core.AnalysisLockSet:
-			row.Findings = len(res.Warnings)
-			row.Analyzed = res.LS.Reads + res.LS.Writes
-			for _, w := range res.Warnings {
-				if rngRaceAddr(w.Addr) {
-					row.FoundRNGRace = true
-				}
-			}
-		default:
-			row.Findings = len(res.Races)
-			row.Analyzed = res.FT.Reads + res.FT.Writes
-			for _, r := range res.Races {
-				if rngRaceAddr(r.Addr) {
-					row.FoundRNGRace = true
-				}
-			}
-		}
-		rows = append(rows, row)
+
+	rows := []DetectorRow{
+		detectorRow("fasttrack-full", cells[1].Res, cells[1].Res.AnalysisFindings("fasttrack"), native, false),
+		detectorRow("sampled-fasttrack", cells[2].Res, cells[2].Res.AnalysisFindings("sampled"), native, false),
+	}
+	mux := cells[3].Res
+	for _, name := range muxedDetectors {
+		rows = append(rows,
+			detectorRow("aikido:"+name, mux, mux.AnalysisFindings(name), native, true))
 	}
 	return rows, nil
+}
+
+// detectorRow distills one analysis's findings into a comparison row.
+func detectorRow(label string, res *core.Result, f analysis.Findings, native *core.Result, muxed bool) DetectorRow {
+	row := DetectorRow{Variant: label, Slow: res.Slowdown(native), Multiplexed: muxed}
+	if f == nil {
+		return row
+	}
+	row.Findings = f.Len()
+	// Unpack the typed findings for the analyzed-event count and the
+	// §5.3 RNG-race check.
+	if sf, ok := f.(*sampler.Findings); ok {
+		f = sf.Inner
+	}
+	switch tf := f.(type) {
+	case *fasttrack.Findings:
+		row.Analyzed = tf.Counters.Reads + tf.Counters.Writes
+		for _, r := range tf.Races {
+			if rngRaceAddr(r.Addr) {
+				row.FoundRNGRace = true
+			}
+		}
+	case *lockset.Findings:
+		row.Analyzed = tf.Counters.Reads + tf.Counters.Writes
+		for _, w := range tf.Warnings {
+			if rngRaceAddr(w.Addr) {
+				row.FoundRNGRace = true
+			}
+		}
+	case *atomicity.Findings:
+		row.Analyzed = tf.Counters.Reads + tf.Counters.Writes
+		for _, v := range tf.Violations {
+			if rngRaceAddr(v.Addr) {
+				row.FoundRNGRace = true
+			}
+		}
+	case *commgraph.Findings:
+		row.Analyzed = tf.Counters.Reads + tf.Counters.Writes
+	}
+	return row
 }
 
 // rngRaceAddr reports whether addr lies on the canneal model's racy page
@@ -520,7 +568,7 @@ func ExtensionScaling(o Options) ([]ScalingPoint, error) {
 		for _, threads := range threadCounts {
 			opt := o
 			opt.Threads = threads
-			specs = append(specs, modeCells(opt.apply(b))...)
+			specs = append(specs, opt.modeCells(opt.apply(b))...)
 			pts = append(pts, ScalingPoint{Name: name, Threads: threads})
 		}
 	}
@@ -550,12 +598,18 @@ func WriteExtensionScaling(w io.Writer, pts []ScalingPoint) {
 // WriteExtensionDetectors renders the comparison.
 func WriteExtensionDetectors(w io.Writer, rows []DetectorRow) {
 	fmt.Fprintln(w, "Extension: hosted analyses on canneal (racy RNG state, §5.3)")
-	fmt.Fprintf(w, "%-20s %10s %10s %12s %10s\n", "detector", "slowdown", "findings", "analyzed", "RNG race")
+	fmt.Fprintln(w, "(\"mux\" rows share ONE multiplexed Aikido pass; its slowdown is the")
+	fmt.Fprintln(w, "whole pass's — N analyses amortize a single DBI+sharing execution)")
+	fmt.Fprintf(w, "%-22s %6s %10s %10s %12s %10s\n", "detector", "pass", "slowdown", "findings", "analyzed", "RNG race")
 	for _, r := range rows {
 		found := "missed"
 		if r.FoundRNGRace {
 			found = "caught"
 		}
-		fmt.Fprintf(w, "%-20s %9.2fx %10d %12d %10s\n", r.Variant, r.Slow, r.Findings, r.Analyzed, found)
+		pass := "own"
+		if r.Multiplexed {
+			pass = "mux"
+		}
+		fmt.Fprintf(w, "%-22s %6s %9.2fx %10d %12d %10s\n", r.Variant, pass, r.Slow, r.Findings, r.Analyzed, found)
 	}
 }

@@ -286,29 +286,37 @@ func TestExtensionDetectors(t *testing.T) {
 		byVariant[r.Variant] = r
 	}
 	full := byVariant["fasttrack-full"]
-	aikido := byVariant["aikido-fasttrack"]
 	sampled := byVariant["sampled-fasttrack"]
-	ls := byVariant["lockset-aikido"]
+	aikido := byVariant["aikido:fasttrack"]
+	ls := byVariant["aikido:lockset"]
 
 	// The positioning claims (paper §1):
 	// Aikido accelerates the analysis without losing the §5.3 race…
 	if !full.FoundRNGRace || !aikido.FoundRNGRace {
 		t.Error("FastTrack variants missed the RNG race")
 	}
-	if aikido.Slow >= full.Slow {
-		t.Error("Aikido not faster than full instrumentation on canneal")
+	// …and since the registry refactor the Aikido row is ONE multiplexed
+	// pass hosting FOUR analyses — which still beats a single
+	// full-instrumentation analysis on this low-sharing model.
+	if !aikido.Multiplexed || !ls.Multiplexed {
+		t.Error("aikido rows should come from the multiplexed pass")
 	}
-	// …while sampling gains speed by *losing* accuracy.
-	if sampled.Slow >= aikido.Slow {
-		t.Error("sampling not the fastest detector")
+	if aikido.Slow >= full.Slow {
+		t.Error("multiplexed Aikido pass not faster than one full-instrumentation analysis")
+	}
+	// Sampling gains speed by *losing* accuracy.
+	if sampled.Slow >= full.Slow {
+		t.Error("sampling not cheaper than full instrumentation")
 	}
 	if sampled.FoundRNGRace {
 		t.Log("note: sampler caught the RNG race this run (possible but unusual)")
 	}
-	// LockSet over Aikido analyzes the same shared accesses.
-	if ls.Analyzed != aikido.Analyzed {
-		t.Errorf("lockset analyzed %d, fasttrack %d — same shared stream expected",
-			ls.Analyzed, aikido.Analyzed)
+	// Every multiplexed analysis consumed the same shared access stream.
+	for _, name := range []string{"aikido:lockset", "aikido:atomicity", "aikido:commgraph"} {
+		if got := byVariant[name].Analyzed; got != aikido.Analyzed {
+			t.Errorf("%s analyzed %d, fasttrack %d — same shared stream expected",
+				name, got, aikido.Analyzed)
+		}
 	}
 	if !ls.FoundRNGRace {
 		t.Error("LockSet missed the unlocked RNG state")

@@ -48,7 +48,7 @@ func BenchJSON(o Options) (*BenchReport, error) {
 	benches := parsec.All()
 	var specs []runner.Spec
 	for _, b := range benches {
-		specs = append(specs, modeCells(o.apply(b))...)
+		specs = append(specs, o.modeCells(o.apply(b))...)
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
@@ -73,7 +73,7 @@ func BenchJSON(o Options) (*BenchReport, error) {
 				Cycles:    m.Res.Cycles,
 				SlowdownX: slow,
 				SharedPct: 100 * m.Res.SharedAccessFraction(),
-				Races:     len(m.Res.Races),
+				Races:     len(m.Res.Races()),
 			})
 			if label == "FastTrack" {
 				ftS = append(ftS, slow)

@@ -1,0 +1,71 @@
+package fasttrack
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+)
+
+// Kind is the detector's registry name.
+const Kind = "fasttrack"
+
+func init() {
+	analysis.Register(Kind, func(env analysis.Env) (analysis.Analysis, error) {
+		return New(env.Clock, env.Costs), nil
+	})
+	analysis.RegisterAlias("ft", Kind)
+}
+
+// Name implements analysis.Analysis.
+func (d *Detector) Name() string { return Kind }
+
+// OnExit implements analysis.Analysis: thread exit carries no
+// happens-before edge of its own (the join does).
+func (d *Detector) OnExit(tid guest.TID) {}
+
+// SetMaxFindings implements analysis.Analysis, capping stored races
+// (0 restores the default).
+func (d *Detector) SetMaxFindings(n int) {
+	if n <= 0 {
+		n = defaultMaxRaces
+	}
+	d.MaxRaces = n
+}
+
+// Report implements analysis.Analysis.
+func (d *Detector) Report() analysis.Findings {
+	return &Findings{Counters: d.C, Races: d.Races(), Dropped: d.Dropped}
+}
+
+// Findings is the detector's analysis.Findings: the recorded races plus
+// the fast/slow-path counters behind them.
+type Findings struct {
+	Counters Counters
+	Races    []Race
+	// Dropped counts races beyond the findings cap.
+	Dropped uint64
+}
+
+// Analysis implements analysis.Findings.
+func (f *Findings) Analysis() string { return Kind }
+
+// Len implements analysis.Findings.
+func (f *Findings) Len() int { return len(f.Races) }
+
+// Strings implements analysis.Findings.
+func (f *Findings) Strings() []string {
+	out := make([]string, len(f.Races))
+	for i, r := range f.Races {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Summary implements analysis.Findings.
+func (f *Findings) Summary() string {
+	return fmt.Sprintf("reads=%d writes=%d same-epoch=%d ordered=%d slow=%d sync=%d vars=%d",
+		f.Counters.Reads, f.Counters.Writes, f.Counters.SameEpoch,
+		f.Counters.OrderedEpoch, f.Counters.SlowPath, f.Counters.SyncOps,
+		f.Counters.Variables)
+}

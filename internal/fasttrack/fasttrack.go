@@ -166,6 +166,9 @@ type raceKey struct {
 	tidA, tB vclock.TID
 }
 
+// defaultMaxRaces is the default findings cap.
+const defaultMaxRaces = 1000
+
 // New creates a detector charging analysis costs to clock.
 func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 	return &Detector{
@@ -176,7 +179,7 @@ func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 		bars:     make(map[int64]*barrier),
 		seen:     make(map[raceKey]struct{}),
 		rvcs:     make([]vclock.VC, 1), // slot 0 = "no read VC"
-		MaxRaces: 1000,
+		MaxRaces: defaultMaxRaces,
 	}
 }
 

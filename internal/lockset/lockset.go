@@ -132,6 +132,9 @@ type Detector struct {
 	C Counters
 }
 
+// defaultMaxWarnings is the default findings cap.
+const defaultMaxWarnings = 1000
+
 // New creates a detector charging analysis costs to clock.
 func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 	d := &Detector{
@@ -141,7 +144,7 @@ func New(clock *stats.Clock, costs stats.CostModel) *Detector {
 		vars:        make(map[uint64]*varState),
 		intern:      make(map[string]*lockSet),
 		seen:        make(map[uint64]struct{}),
-		MaxWarnings: 1000,
+		MaxWarnings: defaultMaxWarnings,
 	}
 	d.empty = d.internSet(nil)
 	return d

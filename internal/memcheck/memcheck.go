@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/analysis"
 	"repro/internal/dbi"
 	"repro/internal/guest"
 	"repro/internal/isa"
@@ -97,8 +98,12 @@ type Counters struct {
 	RegionsTracked uint64
 }
 
+// defaultMaxReports is the default findings cap.
+const defaultMaxReports = 64
+
 // Checker is one memory checker instance.
 type Checker struct {
+	analysis.NoSync
 	shadow *umbra.ShadowMap[byteState]
 
 	reports []Report
@@ -110,6 +115,10 @@ type Checker struct {
 	clock *stats.Clock
 	costs stats.CostModel
 
+	// loading is true only while Attach replays the pre-existing address
+	// space: those regions are loader-initialized, hence defined.
+	loading bool
+
 	C Counters
 }
 
@@ -119,28 +128,21 @@ type Checker struct {
 func Attach(p *guest.Process, um *umbra.Umbra, clock *stats.Clock, costs stats.CostModel) *Checker {
 	c := &Checker{
 		shadow:     umbra.NewShadowMap[byteState](um, 1),
-		MaxReports: 64,
+		MaxReports: defaultMaxReports,
 		dedup:      make(map[uint64]struct{}),
 		clock:      clock,
 		costs:      costs,
 	}
-	// Pre-mark existing regions as defined (the loader wrote them), and
-	// later regions as undefined (fresh anonymous memory is zeroed by
-	// the kernel but *semantically* uninitialized to the program — the
+	// Regions that exist at attach time are loader-initialized: defined.
+	// AddVMAListener replays them through VMAAdded, so the hook marks
+	// everything it sees during the replay as defined and only later
+	// regions as undefined (fresh anonymous memory is zeroed by the
+	// kernel but *semantically* uninitialized to the program — the
 	// Dr. Memory definition).
-	c.markExisting(p)
+	c.loading = true
 	p.AddVMAListener(vmaHook{c})
+	c.loading = false
 	return c
-}
-
-// markExisting sets every currently mapped application byte to defined.
-func (c *Checker) markExisting(p *guest.Process) {
-	for _, v := range p.VMAs() {
-		if v.Kind == guest.VMAShadow || v.Kind == guest.VMAMirror {
-			continue
-		}
-		c.fill(v, defined)
-	}
 }
 
 // fill sets the state of every byte of a VMA.
@@ -157,7 +159,8 @@ func (c *Checker) fill(v *guest.VMA, st byteState) {
 type vmaHook struct{ c *Checker }
 
 // VMAAdded implements guest.VMAListener: new app mappings are addressable
-// but undefined; stacks are defined (the ABI zero-fills them).
+// but undefined; stacks are defined (the ABI zero-fills them), as is
+// everything replayed during attach (the loader wrote it).
 func (h vmaHook) VMAAdded(v *guest.VMA) {
 	switch v.Kind {
 	case guest.VMAShadow, guest.VMAMirror:
@@ -165,7 +168,11 @@ func (h vmaHook) VMAAdded(v *guest.VMA) {
 	case guest.VMAStack:
 		h.c.fill(v, defined)
 	default:
-		h.c.fill(v, undefined)
+		if h.c.loading {
+			h.c.fill(v, defined)
+		} else {
+			h.c.fill(v, undefined)
+		}
 	}
 }
 

@@ -34,7 +34,7 @@ func ExampleSweep() {
 	native := rep.Cells[0].Res
 	for _, c := range rep.Cells[1:] {
 		fmt.Printf("%s: %.2fx vs native, %d races\n",
-			c.Spec.Label, c.Res.Slowdown(native), len(c.Res.Races))
+			c.Spec.Label, c.Res.Slowdown(native), len(c.Res.Races()))
 	}
 	fmt.Println("cells swept:", rep.Totals.Runs)
 	// Output:

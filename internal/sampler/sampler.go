@@ -1,28 +1,45 @@
-// Package sampler implements a LiteRace-style sampling race detector
+// Package sampler implements a LiteRace-style sampling wrapper
 // (Marino et al., PLDI 2009) — the *other* way to cut instrumentation cost
 // that the paper positions Aikido against (§1, §7.3): instead of limiting
 // analysis to shared pages (no accuracy loss beyond the first-access
 // window), sampling analyzes a random subset of accesses and trades false
 // negatives for speed.
 //
-// The sampler wraps the FastTrack detector with LiteRace's "cold-region
-// hypothesis" adaptive sampling: each static instruction starts at a 100 %
-// sampling rate (newly executed code is where bugs hide) and decays
-// geometrically toward a floor as it gets hotter. Synchronization events
-// are always processed, so the happens-before state stays sound — only
-// data accesses are dropped.
+// The sampler wraps any registered shared-data analysis — FastTrack by
+// default, but equally LockSet or the atomicity checker through the
+// registry's "sampled:<name>" composition syntax — with LiteRace's
+// "cold-region hypothesis" adaptive sampling: each static instruction
+// starts at a 100 % sampling rate (newly executed code is where bugs hide)
+// and decays geometrically toward a floor as it gets hotter.
+// Synchronization events are always forwarded, so the wrapped analysis's
+// happens-before (or lockset/region) state stays sound — only data
+// accesses are dropped.
 //
 // It exists to reproduce the paper's qualitative claim: a sampling
-// detector is fast but misses races that Aikido-FastTrack still catches.
-// The extension experiment in internal/experiments quantifies this.
+// detector is fast but misses findings that Aikido-hosted analyses still
+// catch. The extension experiment in internal/experiments quantifies this.
 package sampler
 
 import (
+	"fmt"
+
+	"repro/internal/analysis"
 	"repro/internal/fasttrack"
 	"repro/internal/guest"
 	"repro/internal/isa"
 	"repro/internal/stats"
 )
+
+// Kind is the wrapper's registry name; the composed form is
+// "sampled:<inner>".
+const Kind = "sampled"
+
+func init() {
+	analysis.RegisterWrapper(Kind, fasttrack.Kind,
+		func(inner analysis.Analysis, innerName string, env analysis.Env) (analysis.Analysis, error) {
+			return Wrap(inner, env.Clock, env.Costs, DefaultConfig()), nil
+		})
+}
 
 // Config tunes the adaptive sampler.
 type Config struct {
@@ -54,11 +71,13 @@ type Counters struct {
 	Sampled uint64
 }
 
-// Detector is a sampling FastTrack. It satisfies the same analysis seam as
-// fasttrack.Detector and lockset.Detector.
+// Detector samples the access stream feeding any wrapped shared-data
+// analysis. It satisfies the same analysis seam as the detectors it wraps,
+// so a sampled analysis is selected and multiplexed like any other.
 type Detector struct {
-	FT  *fasttrack.Detector
-	cfg Config
+	inner analysis.Analysis
+	name  string
+	cfg   Config
 
 	pcs   map[isa.PC]*pcState
 	clock *stats.Clock
@@ -67,8 +86,16 @@ type Detector struct {
 	C Counters
 }
 
-// New creates a sampling detector over a fresh FastTrack instance.
+// New creates a sampling detector over a fresh FastTrack instance — the
+// LiteRace configuration the experiments compare against.
 func New(clock *stats.Clock, costs stats.CostModel, cfg Config) *Detector {
+	return Wrap(fasttrack.New(clock, costs), clock, costs, cfg)
+}
+
+// Wrap creates a sampling detector over an arbitrary analysis. The
+// wrapped analysis sees the sampled access stream and every
+// synchronization event.
+func Wrap(inner analysis.Analysis, clock *stats.Clock, costs stats.CostModel, cfg Config) *Detector {
 	if cfg.InitialBurst == 0 {
 		cfg.InitialBurst = 1
 	}
@@ -76,13 +103,20 @@ func New(clock *stats.Clock, costs stats.CostModel, cfg Config) *Detector {
 		cfg.MaxPeriod = 1024
 	}
 	return &Detector{
-		FT:    fasttrack.New(clock, costs),
+		inner: inner,
+		name:  Kind + ":" + inner.Name(),
 		cfg:   cfg,
 		pcs:   make(map[isa.PC]*pcState),
 		clock: clock,
 		costs: costs,
 	}
 }
+
+// Inner returns the wrapped analysis.
+func (d *Detector) Inner() analysis.Analysis { return d.inner }
+
+// Name implements analysis.Analysis ("sampled:<inner>").
+func (d *Detector) Name() string { return d.name }
 
 // SampleRate reports the fraction of offered accesses actually analyzed.
 func (d *Detector) SampleRate() float64 {
@@ -92,8 +126,14 @@ func (d *Detector) SampleRate() float64 {
 	return float64(d.C.Sampled) / float64(d.C.Seen)
 }
 
-// Races returns the underlying detector's findings.
-func (d *Detector) Races() []fasttrack.Race { return d.FT.Races() }
+// Races returns the wrapped detector's races when the inner analysis is
+// FastTrack (the default configuration), nil otherwise.
+func (d *Detector) Races() []fasttrack.Race {
+	if ft, ok := d.inner.(*fasttrack.Detector); ok {
+		return ft.Races()
+	}
+	return nil
+}
 
 // OnAccess samples the access according to the PC's adaptive state.
 func (d *Detector) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
@@ -121,7 +161,7 @@ func (d *Detector) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, w
 	st.execs++
 	if sample {
 		d.C.Sampled++
-		d.FT.OnAccess(tid, pc, addr, size, write)
+		d.inner.OnAccess(tid, pc, addr, size, write)
 	}
 }
 
@@ -130,26 +170,65 @@ func (d *Detector) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size ui
 	d.OnAccess(tid, pc, addr, size, write)
 }
 
-// Synchronization is never sampled away: happens-before state must stay
-// sound (LiteRace does the same).
+// Synchronization is never sampled away: the wrapped analysis's
+// synchronization state must stay sound (LiteRace does the same).
 
-// OnAcquire forwards to FastTrack.
-func (d *Detector) OnAcquire(tid guest.TID, lock int64) { d.FT.OnAcquire(tid, lock) }
+// OnAcquire forwards to the wrapped analysis.
+func (d *Detector) OnAcquire(tid guest.TID, lock int64) { d.inner.OnAcquire(tid, lock) }
 
-// OnRelease forwards to FastTrack.
-func (d *Detector) OnRelease(tid guest.TID, lock int64) { d.FT.OnRelease(tid, lock) }
+// OnRelease forwards to the wrapped analysis.
+func (d *Detector) OnRelease(tid guest.TID, lock int64) { d.inner.OnRelease(tid, lock) }
 
-// OnFork forwards to FastTrack.
-func (d *Detector) OnFork(parent, child guest.TID) { d.FT.OnFork(parent, child) }
+// OnFork forwards to the wrapped analysis.
+func (d *Detector) OnFork(parent, child guest.TID) { d.inner.OnFork(parent, child) }
 
-// OnJoin forwards to FastTrack.
-func (d *Detector) OnJoin(joiner, child guest.TID) { d.FT.OnJoin(joiner, child) }
+// OnJoin forwards to the wrapped analysis.
+func (d *Detector) OnJoin(joiner, child guest.TID) { d.inner.OnJoin(joiner, child) }
 
-// OnBarrierWait forwards to FastTrack.
-func (d *Detector) OnBarrierWait(tid guest.TID, id int64) { d.FT.OnBarrierWait(tid, id) }
+// OnExit forwards to the wrapped analysis.
+func (d *Detector) OnExit(tid guest.TID) { d.inner.OnExit(tid) }
 
-// OnBarrierRelease forwards to FastTrack.
-func (d *Detector) OnBarrierRelease(tid guest.TID, id int64) { d.FT.OnBarrierRelease(tid, id) }
+// OnBarrierWait forwards to the wrapped analysis.
+func (d *Detector) OnBarrierWait(tid guest.TID, id int64) { d.inner.OnBarrierWait(tid, id) }
 
-// AddThread forwards to FastTrack.
-func (d *Detector) AddThread(delta int) { d.FT.AddThread(delta) }
+// OnBarrierRelease forwards to the wrapped analysis.
+func (d *Detector) OnBarrierRelease(tid guest.TID, id int64) { d.inner.OnBarrierRelease(tid, id) }
+
+// AddThread forwards to the wrapped analysis.
+func (d *Detector) AddThread(delta int) { d.inner.AddThread(delta) }
+
+// SetMaxFindings forwards to the wrapped analysis.
+func (d *Detector) SetMaxFindings(n int) { d.inner.SetMaxFindings(n) }
+
+// Report implements analysis.Analysis: the wrapped analysis's findings
+// plus the sampling counters that qualify them (a sampled analysis's
+// findings are a subset of what the unsampled analysis would report).
+func (d *Detector) Report() analysis.Findings {
+	return &Findings{Name: d.name, Counters: d.C, Inner: d.inner.Report()}
+}
+
+// Findings wraps the inner analysis's findings with the sampling rate.
+type Findings struct {
+	Name     string
+	Counters Counters
+	Inner    analysis.Findings
+}
+
+// Analysis implements analysis.Findings.
+func (f *Findings) Analysis() string { return f.Name }
+
+// Len implements analysis.Findings.
+func (f *Findings) Len() int { return f.Inner.Len() }
+
+// Strings implements analysis.Findings.
+func (f *Findings) Strings() []string { return f.Inner.Strings() }
+
+// Summary implements analysis.Findings.
+func (f *Findings) Summary() string {
+	rate := 0.0
+	if f.Counters.Seen > 0 {
+		rate = float64(f.Counters.Sampled) / float64(f.Counters.Seen)
+	}
+	return fmt.Sprintf("sampled=%d of %d (%.2f%%) %s",
+		f.Counters.Sampled, f.Counters.Seen, 100*rate, f.Inner.Summary())
+}

@@ -1,0 +1,109 @@
+package spbags
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+	"repro/internal/isa"
+)
+
+// Kind is the detector's registry name.
+const Kind = "spbags"
+
+func init() {
+	analysis.Register(Kind, func(env analysis.Env) (analysis.Analysis, error) {
+		d := New()
+		d.clock = env.Clock
+		d.costs = env.Costs
+		return d, nil
+	})
+}
+
+// Name implements analysis.Analysis.
+func (d *Detector) Name() string { return Kind }
+
+// OnSharedAccess implements analysis.Analysis (the AikidoSD client
+// surface). Determinacy races are conflicts on shared data by definition,
+// so Aikido's filtering is a natural fit — modulo the first-access window
+// shared with every hosted detector.
+func (d *Detector) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	d.OnAccess(tid, pc, addr, size, write)
+}
+
+// OnAcquire implements analysis.Analysis: the Nondeterminator ignores
+// locks by design — a lock-"protected" conflict is still a determinacy
+// race (§1's schedule-independence contrast).
+func (d *Detector) OnAcquire(tid guest.TID, lock int64) {}
+
+// OnRelease implements analysis.Analysis (see OnAcquire).
+func (d *Detector) OnRelease(tid guest.TID, lock int64) {}
+
+// OnBarrierWait implements analysis.Analysis: barriers are outside the
+// strict fork-join subset SP-bags reasons about.
+func (d *Detector) OnBarrierWait(tid guest.TID, id int64) {}
+
+// OnBarrierRelease implements analysis.Analysis (see OnBarrierWait).
+func (d *Detector) OnBarrierRelease(tid guest.TID, id int64) {}
+
+// AddThread implements analysis.Analysis: task lifetime is tracked through
+// OnFork/OnExit/OnJoin, not a live count.
+func (d *Detector) AddThread(delta int) {}
+
+// SetMaxFindings implements analysis.Analysis, capping stored races
+// (0 restores the default).
+func (d *Detector) SetMaxFindings(n int) {
+	if n <= 0 {
+		n = defaultMaxRaces
+	}
+	d.MaxRaces = n
+}
+
+// Report implements analysis.Analysis.
+//
+// A registry-hosted SP-bags instance observes whatever schedule the guest
+// ran; its verdict is schedule independent only when that schedule was the
+// canonical serial DFS (guest.SchedSerialDFS — what the standalone Check
+// harness configures). Hosted under a round-robin schedule the reports
+// are best-effort, like any dynamic detector's.
+func (d *Detector) Report() analysis.Findings {
+	return &Findings{Counters: d.C, Races: d.Races()}
+}
+
+// charge bills sync/access work when the detector is clock-hosted
+// (registry instances); the standalone Nondeterminator harness predates
+// the cost model and runs unbilled.
+func (d *Detector) charge(c uint64) {
+	if d.clock != nil {
+		d.clock.Charge(c)
+	}
+}
+
+// Findings is the detector's analysis.Findings: determinacy races plus
+// the bag counters behind them.
+type Findings struct {
+	Counters Counters
+	Races    []Race
+}
+
+// Analysis implements analysis.Findings.
+func (f *Findings) Analysis() string { return Kind }
+
+// Len implements analysis.Findings.
+func (f *Findings) Len() int { return len(f.Races) }
+
+// Strings implements analysis.Findings.
+func (f *Findings) Strings() []string {
+	out := make([]string, len(f.Races))
+	for i, r := range f.Races {
+		out[i] = r.String()
+	}
+	return out
+}
+
+// Summary implements analysis.Findings.
+func (f *Findings) Summary() string {
+	return fmt.Sprintf("reads=%d writes=%d tasks=%d joins=%d races=%d",
+		f.Counters.Reads, f.Counters.Writes, f.Counters.Tasks,
+		f.Counters.Joins, f.Counters.Races)
+}

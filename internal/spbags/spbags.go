@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/guest"
 	"repro/internal/isa"
+	"repro/internal/stats"
 )
 
 // bagKind tags a disjoint-set root.
@@ -147,8 +148,17 @@ type Detector struct {
 	// MaxRaces caps stored reports (further races are counted only).
 	MaxRaces int
 
+	// clock/costs are set on registry-hosted instances so the detector
+	// bills its work like every other hosted analysis; the standalone
+	// Check harness leaves them nil (unbilled).
+	clock *stats.Clock
+	costs stats.CostModel
+
 	C Counters
 }
+
+// defaultMaxRaces is the default findings cap.
+const defaultMaxRaces = 100
 
 // New creates a detector whose root task is the main thread (TID 1).
 func New() *Detector {
@@ -158,7 +168,7 @@ func New() *Detector {
 		children: make(map[guest.TID][]guest.TID),
 		parent:   make(map[guest.TID]guest.TID),
 		shadow:   make(map[uint64]*cell),
-		MaxRaces: 100,
+		MaxRaces: defaultMaxRaces,
 	}
 	d.nodes[1] = &node{kind: bagS, task: 1}
 	d.C.Tasks = 1
@@ -167,6 +177,7 @@ func New() *Detector {
 
 // OnFork registers a spawned task: it starts with a fresh S-bag of its own.
 func (d *Detector) OnFork(creator, child guest.TID) {
+	d.charge(d.costs.AnalysisSync)
 	if _, dup := d.nodes[child]; dup {
 		panic(fmt.Sprintf("spbags: task %d forked twice", child))
 	}
@@ -180,6 +191,7 @@ func (d *Detector) OnFork(creator, child guest.TID) {
 // children) into a pending bag: until someone joins it, all of its work is
 // parallel with whatever runs next.
 func (d *Detector) OnExit(task guest.TID) {
+	d.charge(d.costs.AnalysisSync)
 	n, ok := d.nodes[task]
 	if !ok {
 		panic(fmt.Sprintf("spbags: exit of unknown task %d", task))
@@ -199,6 +211,7 @@ func (d *Detector) OnExit(task guest.TID) {
 // OnJoin merges the joined child's pending bag into the joiner's S-bag:
 // the child's work is now serial-before everything the joiner does next.
 func (d *Detector) OnJoin(joiner, child guest.TID) {
+	d.charge(d.costs.AnalysisSync)
 	pb, ok := d.pending[child]
 	if !ok {
 		// Join of a task whose bag already collapsed upward (joined via
@@ -241,6 +254,7 @@ func (d *Detector) report(addr uint64, prev access, prevWrite bool, cur access, 
 // Locations are tracked at 8-byte granularity like the Aikido FastTrack
 // port (§4.2).
 func (d *Detector) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	d.charge(d.costs.AnalysisFast)
 	key := addr &^ 7
 	c := d.shadow[key]
 	if c == nil {

@@ -1,21 +1,21 @@
-package spbags
+package spbags_test
 
 import (
-	"strings"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/spbags"
 	"repro/internal/workload"
 )
 
-func check(t *testing.T, spec workload.ForkJoinSpec) *Report {
+func check(t *testing.T, spec workload.ForkJoinSpec) *spbags.Report {
 	t.Helper()
 	prog, err := workload.BuildForkJoin(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Check(prog)
+	rep, err := spbags.Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestDeterminacyVsDataRace(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	rep, err := Check(prog)
+	rep, err := spbags.Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +75,8 @@ func TestDeterminacyVsDataRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ftRes.Races) != 0 {
-		t.Errorf("FastTrack reported %d data races on the lock-protected counter", len(ftRes.Races))
+	if len(ftRes.Races()) != 0 {
+		t.Errorf("FastTrack reported %d data races on the lock-protected counter", len(ftRes.Races()))
 	}
 }
 
@@ -92,7 +92,7 @@ func TestFastTrackAgreesOnUnlockedRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ftRes.Races) == 0 {
+	if len(ftRes.Races()) == 0 {
 		t.Error("FastTrack missed the unlocked counter race")
 	}
 }
@@ -132,14 +132,14 @@ func buildSpawnReadJoin(t *testing.T, readBeforeJoin bool) *isa.Program {
 // TestJoinCreatesSerialOrder is the core SP-bags property: the same
 // write/read pair races iff the read precedes the join.
 func TestJoinCreatesSerialOrder(t *testing.T) {
-	racy, err := Check(buildSpawnReadJoin(t, true))
+	racy, err := spbags.Check(buildSpawnReadJoin(t, true))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(racy.Races) == 0 {
 		t.Error("read-before-join not reported")
 	}
-	clean, err := Check(buildSpawnReadJoin(t, false))
+	clean, err := spbags.Check(buildSpawnReadJoin(t, false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +178,7 @@ func TestGrandchildJoinedTransitively(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Check(prog)
+	rep, err := spbags.Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +215,7 @@ func TestNeverJoinedChildStaysParallel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Check(prog)
+	rep, err := spbags.Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,17 +232,6 @@ func TestNeverJoinedChildStaysParallel(t *testing.T) {
 	_ = rep
 }
 
-func TestRaceStringFormat(t *testing.T) {
-	r := Race{Addr: 0x1000, Prev: access{task: 2, pc: 10}, Cur: access{task: 3, pc: 20},
-		PrevWrite: true, CurWrite: false}
-	s := r.String()
-	for _, want := range []string{"0x1000", "write", "read", "task 2", "task 3"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("race string %q missing %q", s, want)
-		}
-	}
-}
-
 // TestSerialDFSExecutionOrder verifies the scheduling substrate: under
 // SchedSerialDFS the child runs to completion before the parent resumes.
 func TestSerialDFSExecutionOrder(t *testing.T) {
@@ -251,7 +240,7 @@ func TestSerialDFSExecutionOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep, err := Check(prog)
+	rep, err := spbags.Check(prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,27 +250,4 @@ func TestSerialDFSExecutionOrder(t *testing.T) {
 	if rep.Counters.Joins == 0 {
 		t.Error("no joins processed")
 	}
-}
-
-// TestMisuseDetection: structural violations panic rather than corrupt the
-// bags.
-func TestMisuseDetection(t *testing.T) {
-	d := New()
-	d.OnFork(1, 2)
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("double fork not detected")
-			}
-		}()
-		d.OnFork(1, 2)
-	}()
-	func() {
-		defer func() {
-			if recover() == nil {
-				t.Error("exit of unknown task not detected")
-			}
-		}()
-		d.OnExit(99)
-	}()
 }

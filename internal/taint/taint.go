@@ -64,6 +64,9 @@ type Tracker struct {
 	mem     *umbra.ShadowMap[bool]
 	sources []Region
 	sinks   []Region
+	// prog, when set (registry-hosted trackers), lets OnAccess recover an
+	// instruction's register operands from its PC.
+	prog *isa.Program
 
 	flows []Flow
 	// dedup suppresses repeated flows from one (pc, sink-address) pair.
@@ -77,13 +80,16 @@ type Tracker struct {
 	C Counters
 }
 
+// defaultMaxFlows is the default findings cap.
+const defaultMaxFlows = 64
+
 // New creates a tracker over the process's Umbra instance.
 func New(um *umbra.Umbra, clock *stats.Clock, costs stats.CostModel) *Tracker {
 	return &Tracker{
 		regs:     make(map[guest.TID]*[isa.NumRegs]bool),
 		mem:      umbra.NewShadowMap[bool](um, 1),
 		dedup:    make(map[uint64]struct{}),
-		MaxFlows: 64,
+		MaxFlows: defaultMaxFlows,
 		clock:    clock,
 		costs:    costs,
 	}

@@ -58,8 +58,8 @@ func TestLockedSharedOpsDoNotRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races) != 0 {
-		t.Errorf("locked workload raced: %v", res.Races[:minI(3, len(res.Races))])
+	if len(res.Races()) != 0 {
+		t.Errorf("locked workload raced: %v", res.Races()[:minI(3, len(res.Races()))])
 	}
 }
 
@@ -82,7 +82,7 @@ func TestRacyOpsRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races) == 0 {
+	if len(res.Races()) == 0 {
 		t.Error("racy ops produced no races under full FastTrack")
 	}
 }
@@ -150,8 +150,8 @@ func TestBarrierWorkloadCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races) != 0 {
-		t.Errorf("barrier workload raced: %v", res.Races[:minI(3, len(res.Races))])
+	if len(res.Races()) != 0 {
+		t.Errorf("barrier workload raced: %v", res.Races()[:minI(3, len(res.Races()))])
 	}
 }
 
