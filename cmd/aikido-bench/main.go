@@ -7,9 +7,12 @@
 // Usage:
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
-//	              switch|providers|detectors|muxbench|scaling|nondet|stm|crew]
+//	              switch|providers|detectors|muxbench|epochs|scaling|nondet|
+//	              stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
-//	             [-muxjson FILE] [-analysis NAME[,NAME...]] [-deterministic]
+//	             [-muxjson FILE] [-epochjson FILE] [-epoch]
+//	             [-analysis NAME[,NAME...]] [-deterministic]
+//	aikido-bench -compare OLD.json,NEW.json [-max-regress-pct P]
 //
 // -analysis selects the analyses every analysis-bearing cell runs (registry
 // names, multiplexed onto one pass per cell); CI diffs the -json report at
@@ -33,6 +36,18 @@
 // docs/benchmarking.md). -deterministic zeroes the report's wall_ns fields
 // so the bytes depend only on simulated metrics; CI uses it to diff
 // -workers 1 against -workers 8.
+//
+// -epoch enables epoch-based re-privatization (sharing.DefaultEpochPolicy)
+// in every Aikido cell: CI's 3-way equivalence leg diffs an -epoch report
+// against the baseline to pin that demotion never perturbs the PARSEC
+// models. The epochs experiment (and -epochjson, the BENCH_4.json source)
+// measures the demotion win on the phased/migratory workload suite, where
+// it does fire.
+//
+// -compare OLD,NEW is the CI bench-regression gate: both files must be
+// BENCH-style snapshots of the same schema and scale, and the command
+// exits nonzero when NEW's geomean cycle speedup is more than
+// -max-regress-pct percent below OLD's.
 package main
 
 import (
@@ -40,24 +55,46 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
 	jsonOut := flag.String("json", "", "write a machine-readable bench report to this file (\"-\" = stdout) instead of running text experiments")
-	muxOut := flag.String("muxjson", "", "write the mux-amortization report (BENCH_<n>.json snapshots) to this file (\"-\" = stdout)")
+	muxOut := flag.String("muxjson", "", "write the mux-amortization report (BENCH_3.json snapshots) to this file (\"-\" = stdout)")
+	epochOut := flag.String("epochjson", "", "write the epoch re-privatization report (BENCH_4.json snapshots) to this file (\"-\" = stdout)")
+	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
+	compare := flag.String("compare", "", "OLD.json,NEW.json: compare two BENCH snapshots of one schema and fail on regression (CI gate)")
+	maxRegress := flag.Float64("max-regress-pct", 5, "with -compare, the allowed geomean-cycle-speedup regression in percent")
 	flag.Parse()
 
+	if *compare != "" {
+		oldPath, newPath, ok := strings.Cut(*compare, ",")
+		if !ok || oldPath == "" || newPath == "" {
+			fmt.Fprintln(os.Stderr, "aikido-bench: -compare wants OLD.json,NEW.json")
+			os.Exit(2)
+		}
+		summary, err := experiments.CompareSnapshots(oldPath, newPath, *maxRegress)
+		if summary != "" {
+			fmt.Println(summary)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers,
-		Deterministic: *det, Analyses: analysis.ParseList(*analyses)}
+		Deterministic: *det, Analyses: analysis.ParseList(*analyses), Epoch: *epoch}
 	w := os.Stdout
 
 	openOut := func(path string) *os.File {
@@ -72,9 +109,9 @@ func main() {
 		return f
 	}
 
-	// -json and -muxjson each replace the text experiments; given
-	// together, both reports are produced.
-	if *jsonOut != "" || *muxOut != "" {
+	// -json, -muxjson and -epochjson each replace the text experiments;
+	// given together, every requested report is produced.
+	if *jsonOut != "" || *muxOut != "" || *epochOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -101,6 +138,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WriteMuxJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *epochOut != "" {
+			rep, err := experiments.EpochJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: epochjson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*epochOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteEpochJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -197,6 +249,14 @@ func main() {
 			return err
 		}
 		experiments.WriteMuxAmortization(w, rows)
+		return nil
+	})
+	run("epochs", func() error {
+		rows, err := experiments.Epochs(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteEpochs(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

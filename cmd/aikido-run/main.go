@@ -5,7 +5,7 @@
 // Usage:
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
-//	           [-analysis NAME[,NAME...]] [-max-findings N]
+//	           [-analysis NAME[,NAME...]] [-max-findings N] [-epoch]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
 //	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
@@ -19,6 +19,16 @@
 // flag form. The findings table is driven by the registry's uniform
 // findings surface: no per-detector switch exists here, and a newly
 // registered analysis shows up without touching this command.
+//
+// -epoch enables epoch-based re-privatization in the Aikido modes
+// (sharing.DefaultEpochPolicy): Shared pages that fall back to a single
+// owner are demoted to Private(owner)/Unused at epoch boundaries and
+// their instructions return to native speed; the epoch statistics lines
+// report the demotion traffic.
+//
+// -list-analyses prints the registry catalog: canonical names, the short
+// aliases that resolve to them, and the wrapper combinator in composed
+// form ("sampled:<name>").
 //
 // All execution goes through the concurrent runner (internal/runner):
 // -bench all shards the ten models across -workers pool workers, and the
@@ -37,6 +47,7 @@ import (
 	"repro/internal/parsec"
 	"repro/internal/provider"
 	"repro/internal/runner"
+	"repro/internal/sharing"
 )
 
 func main() {
@@ -44,6 +55,7 @@ func main() {
 	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
 	analyses := flag.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
 	maxFindings := flag.Int("max-findings", 0, "cap stored findings per analysis (0 = each detector's default)")
+	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
 	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := flag.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
 	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
@@ -64,8 +76,8 @@ func main() {
 		return
 	}
 	if *listAn {
-		for _, n := range analysis.Names() {
-			fmt.Println(n)
+		for _, line := range analysis.Catalog() {
+			fmt.Println(line)
 		}
 		return
 	}
@@ -114,6 +126,9 @@ func main() {
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
+	if *epoch {
+		cfg.Epoch = sharing.DefaultEpochPolicy()
+	}
 
 	size := func(b parsec.Benchmark) parsec.Benchmark {
 		b = b.WithScale(*scale)
@@ -195,6 +210,13 @@ func main() {
 			fmt.Printf("hypercalls       %d\n", res.HV.Hypercalls)
 		}
 		fmt.Printf("instrumented PCs %d\n", res.SD.InstrumentedPCs)
+		if *epoch {
+			fmt.Printf("epoch sweeps     %d (%d ticks)\n", res.SD.EpochSweeps, res.EpochTicks)
+			fmt.Printf("pages demoted    %d private, %d unused\n",
+				res.SD.PagesDemotedPrivate, res.SD.PagesDemotedUnused)
+			fmt.Printf("pages reshared   %d\n", res.SD.PagesReshared)
+			fmt.Printf("PCs uninstr'd    %d\n", res.SD.PCsUninstrumented)
+		}
 	}
 	// The findings table is registry-driven: one block per selected
 	// analysis, rendered through the uniform findings surface.

@@ -177,6 +177,39 @@ func (r *Registry) names() []string {
 	return out
 }
 
+// Catalog returns one line per registered analysis for CLI listings:
+// canonical names with the aliases that resolve to them, and wrappers in
+// composed form with their bare-name default spelled out. Unlike Names,
+// nothing resolvable from the command line is omitted — this is what
+// makes the wrapper combinator and the short aliases discoverable from
+// `aikido-run -list-analyses`.
+func (r *Registry) Catalog() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	// Invert the alias table: canonical name -> sorted aliases.
+	byName := make(map[string][]string, len(r.aliases))
+	for alias, name := range r.aliases {
+		byName[name] = append(byName[name], alias)
+	}
+	for _, as := range byName {
+		sort.Strings(as)
+	}
+	var out []string
+	for _, n := range r.names() {
+		if we, isWrap := r.wrappers[n]; isWrap {
+			out = append(out, fmt.Sprintf("%s:<name> (wrapper; %q = %s:%s)",
+				n, n, n, r.resolveLocked(we.defaultInner)))
+			continue
+		}
+		line := n
+		if as := byName[n]; len(as) > 0 {
+			line += " (alias: " + strings.Join(as, ", ") + ")"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
 // defaultRegistry is the process-wide registry detector packages populate
 // in init().
 var defaultRegistry Registry
@@ -203,6 +236,9 @@ func NewAll(names []string, env Env) ([]Analysis, error) { return defaultRegistr
 
 // Names lists the default registry.
 func Names() []string { return defaultRegistry.Names() }
+
+// Catalog lists the default registry with aliases and wrapper forms.
+func Catalog() []string { return defaultRegistry.Catalog() }
 
 // ParseList splits a comma-separated analysis list ("ft,lockset, atomicity")
 // into trimmed names, dropping empties — the shape both cmds accept on

@@ -140,6 +140,16 @@ type Config struct {
 	// access and reprotects it afterwards (the strategy mirror pages
 	// exist to avoid; §3.3.2 and the Abadi et al. comparison in §7.2).
 	NoMirror bool
+
+	// Epoch enables epoch-based re-privatization of Shared pages in the
+	// Aikido modes: pages dominated by one thread (or untouched) for
+	// consecutive epochs are demoted back to Private(owner)/Unused, their
+	// protections re-armed through the provider and their instrumented
+	// instructions flushed, so effectively-private data returns to
+	// native-speed execution. The zero value keeps the paper's terminal
+	// Shared state machine. See sharing.EpochPolicy and
+	// sharing.DefaultEpochPolicy.
+	Epoch sharing.EpochPolicy
 }
 
 // DefaultConfig returns the standard configuration for a mode.
@@ -170,11 +180,12 @@ type System struct {
 	Clock   *stats.Clock
 	Engine  *dbi.Engine
 
-	HV   *hypervisor.Hypervisor // nil unless Aikido mode with the AikidoVM provider
-	Prov provider.Interface     // nil unless Aikido mode
-	Um   *umbra.Umbra           // nil in native/dbi modes
-	Mir  *mirror.Manager        // nil unless Aikido mode
-	SD   *sharing.Detector      // nil unless Aikido mode
+	HV     *hypervisor.Hypervisor // nil unless Aikido mode with the AikidoVM provider
+	Prov   provider.Interface     // nil unless Aikido mode
+	Um     *umbra.Umbra           // nil in native/dbi modes
+	Mir    *mirror.Manager        // nil unless Aikido mode
+	SD     *sharing.Detector      // nil unless Aikido mode
+	Epochs *EpochClock            // nil unless Config.Epoch is enabled
 
 	// Analyses are the active analyses in configuration order (empty in
 	// native/dbi/profile modes). Callers needing a concrete detector's
@@ -284,6 +295,11 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 		s.SD.SetEngine(s.Engine)
 		s.Engine.OnFault = s.SD.HandleFault
 		s.Engine.RuntimeTouch = s.SD.TouchCode
+		if cfg.Epoch.Enabled() {
+			s.SD.EnableEpochs(cfg.Epoch)
+			s.Epochs = newEpochClock(clock, cfg.Epoch.Interval, s.SD.EpochSweep)
+			s.SD.SetEpochTicker(s.Epochs.MaybeTick)
+		}
 
 	default:
 		return nil, fmt.Errorf("core: unknown mode %d", cfg.Mode)
@@ -479,6 +495,11 @@ type Result struct {
 
 	GuestContextSwitches uint64
 	GuestSyscalls        uint64
+
+	// EpochTicks counts epoch boundaries fired by the re-privatization
+	// clock (0 when Config.Epoch is disabled; demotion detail lives in
+	// SD.EpochSweeps / SD.PagesDemoted* / SD.PagesReshared).
+	EpochTicks uint64
 }
 
 // Run executes the assembled system to completion.
@@ -507,6 +528,9 @@ func (s *System) Run() (*Result, error) {
 	}
 	if s.SD != nil {
 		r.SD = s.SD.C
+	}
+	if s.Epochs != nil {
+		r.EpochTicks = s.Epochs.Ticks
 	}
 	if len(s.Analyses) > 0 {
 		r.Findings = make(map[string]analysis.Findings, len(s.Analyses))

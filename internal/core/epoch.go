@@ -1,0 +1,39 @@
+package core
+
+import (
+	"repro/internal/stats"
+)
+
+// EpochClock schedules AikidoSD's epoch-based re-privatization sweeps
+// (internal/sharing/epoch.go) against the system's simulated cycle clock.
+// The detector calls MaybeTick from its instrumented hot paths; when the
+// configured interval has elapsed, one sweep closes the epoch and demotes
+// qualifying Shared pages. Deterministic by construction: the decision
+// depends only on simulated cycles, never on wall-clock or scheduling.
+type EpochClock struct {
+	clock    *stats.Clock
+	interval uint64
+	next     uint64
+	sweep    func()
+
+	// Ticks counts epoch boundaries that fired.
+	Ticks uint64
+}
+
+// newEpochClock builds a clock that fires sweep once per interval cycles.
+func newEpochClock(clock *stats.Clock, interval uint64, sweep func()) *EpochClock {
+	return &EpochClock{clock: clock, interval: interval, next: interval, sweep: sweep}
+}
+
+// MaybeTick runs the sweep if the current epoch has elapsed. It is
+// allocation-free and cheap enough for per-access call sites (one load
+// and one compare on the common path).
+func (c *EpochClock) MaybeTick() {
+	cy := c.clock.Cycles()
+	if cy < c.next {
+		return
+	}
+	c.next = cy + c.interval
+	c.Ticks++
+	c.sweep()
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestEpochsExperiment runs the epochs suite at test scale and checks
+// the report's claims: findings identical everywhere, a real win on the
+// phased/migratory rows, demotions firing, and a strictly neutral
+// false-sharing control.
+func TestEpochsExperiment(t *testing.T) {
+	rows, err := Epochs(Options{Scale: 0.5, Workers: 2, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(epochSuite(Options{Scale: 0.5})) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	byName := map[string]EpochRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.FindingsIdentical {
+			t.Errorf("%s: findings diverged under demotion", r.Name)
+		}
+		if r.BaselineWallNS != 0 || r.EpochWallNS != 0 {
+			t.Errorf("%s: deterministic report has nonzero wall-clock", r.Name)
+		}
+	}
+	for _, name := range []string{"phased", "migratory"} {
+		r := byName[name]
+		if r.CycleSpeedup < 1.2 {
+			t.Errorf("%s: cycle speedup %.2fx, want >= 1.2x", name, r.CycleSpeedup)
+		}
+		if r.PagesDemotedPrivate == 0 {
+			t.Errorf("%s: no demotions", name)
+		}
+		if r.EpochSharedAccesses >= r.BaselineSharedAccesses {
+			t.Errorf("%s: demotion did not reduce instrumented shared accesses (%d -> %d)",
+				name, r.BaselineSharedAccesses, r.EpochSharedAccesses)
+		}
+	}
+	fs := byName["falseshare"]
+	if fs.CycleSpeedup != 1.0 || fs.PagesDemotedPrivate+fs.PagesDemotedUnused != 0 {
+		t.Errorf("falseshare control not neutral: %+v", fs)
+	}
+	if byName["migratory"].PagesReshared == 0 {
+		t.Error("migratory: handoffs never re-shared a demoted page")
+	}
+}
+
+// TestEpochJSONDeterministicAcrossWorkers extends the runner's
+// determinism contract to the epoch report: any worker count, same
+// bytes.
+func TestEpochJSONDeterministicAcrossWorkers(t *testing.T) {
+	o := Options{Scale: 0.25, Deterministic: true}
+	var base *EpochReport
+	for _, workers := range []int{1, 3} {
+		o.Workers = workers
+		rep, err := EpochJSON(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = rep
+		} else if !reflect.DeepEqual(base, rep) {
+			t.Fatalf("epoch report diverges between 1 and %d workers", workers)
+		}
+	}
+	if !base.FindingsIdentical {
+		t.Error("report-level findings_identical is false")
+	}
+	if base.Geomean <= 1 {
+		t.Errorf("geomean cycle speedup %.2f, want > 1", base.Geomean)
+	}
+}
+
+// TestBenchJSONEpochByteIdentical is the in-process version of CI's
+// 3-way equivalence leg: enabling -epoch must leave the PARSEC bench
+// report byte-identical (demotion never fires on steady models).
+func TestBenchJSONEpochByteIdentical(t *testing.T) {
+	base, err := BenchJSON(Options{Scale: 0.1, Workers: 2, Deterministic: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := BenchJSON(Options{Scale: 0.1, Workers: 2, Deterministic: true, Epoch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, ep) {
+		t.Error("-epoch perturbed the PARSEC bench report")
+	}
+}
+
+// writeSnapshot drops a minimal snapshot file for comparer tests.
+func writeSnapshot(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	mux := func(name string, speedup float64, scale float64) string {
+		return writeSnapshot(t, dir, name,
+			`{"schema":"aikido-mux-bench/v1","scale":`+fmtF(scale)+`,"geomean_cycle_speedup_x":`+fmtF(speedup)+`}`)
+	}
+	oldS := mux("old.json", 2.0, 1)
+
+	if _, err := CompareSnapshots(oldS, mux("same.json", 1.97, 1), 5); err != nil {
+		t.Errorf("1.5%% regression within 5%% budget rejected: %v", err)
+	}
+	if _, err := CompareSnapshots(oldS, mux("faster.json", 2.4, 1), 5); err != nil {
+		t.Errorf("improvement rejected: %v", err)
+	}
+	if _, err := CompareSnapshots(oldS, mux("slow.json", 1.8, 5), 5); err == nil {
+		t.Error("10% regression passed a 5% budget")
+	}
+	if _, err := CompareSnapshots(oldS, mux("rescaled.json", 2.0, 0.25), 5); err == nil ||
+		!strings.Contains(err.Error(), "scale") {
+		t.Error("scale mismatch not rejected")
+	}
+	bench := writeSnapshot(t, dir, "bench.json",
+		`{"schema":"aikido-bench/v1","scale":1,"geomean_fasttrack_slowdown_x":100,"geomean_aikido_slowdown_x":25}`)
+	if s, err := ReadSnapshot(bench); err != nil || s.Speedup != 4 {
+		t.Errorf("aikido-bench/v1 metric: got %v, %v; want speedup 4", s, err)
+	}
+	if _, err := CompareSnapshots(oldS, bench, 5); err == nil ||
+		!strings.Contains(err.Error(), "schema") {
+		t.Error("schema mismatch not rejected")
+	}
+	if _, err := ReadSnapshot(writeSnapshot(t, dir, "junk.json", `{"schema":"what/v9"}`)); err == nil {
+		t.Error("unknown schema accepted")
+	}
+}
+
+func fmtF(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

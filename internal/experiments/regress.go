@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Snapshot is the schema-agnostic view of one committed BENCH_<n>.json
+// file the regression gate compares: each schema defines one headline
+// "geomean cycle speedup" metric.
+//
+//   - aikido-bench/v1: geomean FastTrack slowdown / geomean Aikido
+//     slowdown — the Figure 5 headline (how much Aikido beats the
+//     conservative baseline);
+//   - aikido-mux-bench/v1: geomean_cycle_speedup_x — N sequential passes
+//     vs one multiplexed pass (BENCH_3.json);
+//   - aikido-epoch-bench/v1: geomean_cycle_speedup_x — terminal-Shared
+//     baseline vs epoch demotion (BENCH_4.json).
+type Snapshot struct {
+	Path    string
+	Schema  string
+	Scale   float64
+	Speedup float64
+}
+
+// snapshotFields is the union of the headline fields across the three
+// BENCH schemas; only the ones present in the file decode.
+type snapshotFields struct {
+	Schema           string  `json:"schema"`
+	Scale            float64 `json:"scale"`
+	GeomeanFastTrack float64 `json:"geomean_fasttrack_slowdown_x"`
+	GeomeanAikido    float64 `json:"geomean_aikido_slowdown_x"`
+	GeomeanSpeedup   float64 `json:"geomean_cycle_speedup_x"`
+}
+
+// ReadSnapshot loads a BENCH_<n>.json (or freshly produced report) and
+// extracts its headline geomean cycle-speedup metric.
+func ReadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("regress: %w", err)
+	}
+	var f snapshotFields
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Snapshot{}, fmt.Errorf("regress: %s: %w", path, err)
+	}
+	s := Snapshot{Path: path, Schema: f.Schema, Scale: f.Scale}
+	switch f.Schema {
+	case "aikido-bench/v1":
+		if f.GeomeanAikido <= 0 {
+			return Snapshot{}, fmt.Errorf("regress: %s: zero Aikido geomean", path)
+		}
+		s.Speedup = f.GeomeanFastTrack / f.GeomeanAikido
+	case "aikido-mux-bench/v1", "aikido-epoch-bench/v1":
+		s.Speedup = f.GeomeanSpeedup
+	default:
+		return Snapshot{}, fmt.Errorf("regress: %s: unknown schema %q", path, f.Schema)
+	}
+	if s.Speedup <= 0 {
+		return Snapshot{}, fmt.Errorf("regress: %s: non-positive speedup metric", path)
+	}
+	return s, nil
+}
+
+// CompareSnapshots is the CI bench-regression gate: it reads the
+// committed baseline and a freshly produced report of the same schema
+// and scale, and returns an error when the new geomean cycle speedup has
+// regressed by more than maxRegressPct percent. The returned summary is
+// printed either way, so the CI log carries the trajectory.
+func CompareSnapshots(oldPath, newPath string, maxRegressPct float64) (string, error) {
+	oldS, err := ReadSnapshot(oldPath)
+	if err != nil {
+		return "", err
+	}
+	newS, err := ReadSnapshot(newPath)
+	if err != nil {
+		return "", err
+	}
+	if oldS.Schema != newS.Schema {
+		return "", fmt.Errorf("regress: schema mismatch: %s is %q, %s is %q",
+			oldPath, oldS.Schema, newPath, newS.Schema)
+	}
+	if oldS.Scale != newS.Scale {
+		return "", fmt.Errorf(
+			"regress: scale mismatch: %s was taken at -scale %g, %s at -scale %g (speedups are scale-dependent; rerun at the baseline's scale)",
+			oldPath, oldS.Scale, newPath, newS.Scale)
+	}
+	change := 100 * (newS.Speedup/oldS.Speedup - 1)
+	summary := fmt.Sprintf("%s: geomean cycle speedup %.3fx -> %.3fx (%+.2f%%, floor -%.0f%%)",
+		oldS.Schema, oldS.Speedup, newS.Speedup, change, maxRegressPct)
+	if newS.Speedup < oldS.Speedup*(1-maxRegressPct/100) {
+		return summary, fmt.Errorf("regress: geomean cycle speedup regressed %.2f%% (%.3fx -> %.3fx, budget %.0f%%)",
+			-change, oldS.Speedup, newS.Speedup, maxRegressPct)
+	}
+	return summary, nil
+}

@@ -118,6 +118,27 @@ func (l *Lib) ProtectRange(vpnBase uint64, pages int) {
 	l.h.Stats.Hypercalls++
 }
 
+// RearmPage re-arms Aikido protection on one page in a single hypercall:
+// the default becomes no-access for every current and future thread, all
+// per-thread exceptions are dropped, and — when owner is a real TID — the
+// owner alone is re-granted full access. This is the epoch-demotion
+// primitive (Shared→Private(owner) with an owner, Shared→Unused without):
+// where ProtectPage+UnprotectForThread would cost two VM exits, the
+// versioned protection row is rewritten under one, the way Oreo revokes a
+// whole protection domain with a single permission-table update.
+func (l *Lib) RearmPage(vpn uint64, owner guest.TID) {
+	l.h.Stats.Hypercalls++
+	pp, inval := l.protEntry(vpn, 0)
+	pp.def = pagetable.ProtNone
+	for k := range pp.override {
+		delete(pp.override, k)
+	}
+	if owner != guest.NoTID {
+		pp.override[owner] = protAll
+	}
+	inval()
+}
+
 // ClearRange removes all Aikido protection state from [vpnBase,
 // vpnBase+pages) in one batched hypercall (segment unmap).
 func (l *Lib) ClearRange(vpnBase uint64, pages int) {

@@ -122,6 +122,15 @@ func (v *vmProvider) UnprotectForThread(tid guest.TID, vpn uint64) {
 	v.charge(v.costs.Hypercall)
 }
 
+// RearmPage is the epoch-demotion hypercall: one VM exit rewrites the
+// page's protection row (default none, overrides cleared, owner — if any
+// — re-granted).
+func (v *vmProvider) RearmPage(vpn uint64, owner guest.TID) {
+	v.stats.ProtOps++
+	v.lib.RearmPage(vpn, owner)
+	v.charge(v.costs.Hypercall)
+}
+
 func (v *vmProvider) RegisterMirrorRange(vpnBase uint64, pages int) {
 	v.lib.RegisterMirrorRange(vpnBase, pages)
 	v.charge(v.costs.Hypercall)

@@ -96,6 +96,17 @@ func (d *dosProvider) UnprotectForThread(tid guest.TID, vpn uint64) {
 	d.charge(d.costs.Syscall)
 }
 
+// RearmPage is one syscall into the patched kernel: the ownership-table
+// row is rewritten (protected for all, owner re-granted) atomically.
+func (d *dosProvider) RearmPage(vpn uint64, owner guest.TID) {
+	d.stats.ProtOps++
+	d.eng.setDefaultProt(vpn, pagetable.ProtNone, true)
+	if owner != guest.NoTID {
+		d.eng.setThreadProt(owner, vpn, protAll)
+	}
+	d.charge(d.costs.Syscall)
+}
+
 // RegisterMirrorRange is a no-op: in-kernel protections key on virtual
 // pages, so mirror aliases are naturally exempt.
 func (d *dosProvider) RegisterMirrorRange(vpnBase uint64, pages int) {}

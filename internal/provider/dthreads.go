@@ -108,6 +108,20 @@ func (d *dthreadsProvider) UnprotectForThread(tid guest.TID, vpn uint64) {
 	d.charge(d.costs.Syscall)
 }
 
+// RearmPage re-protects in every process and re-grants the owner with a
+// plain mprotect in its process — brokered like ProtectPage, plus the
+// owner's own cheap syscall.
+func (d *dthreadsProvider) RearmPage(vpn uint64, owner guest.TID) {
+	d.stats.ProtOps++
+	d.eng.setDefaultProt(vpn, pagetable.ProtNone, true)
+	cost := d.costs.Syscall + d.costs.Syscall/2
+	if owner != guest.NoTID {
+		d.eng.setThreadProt(owner, vpn, protAll)
+		cost += d.costs.Syscall
+	}
+	d.charge(cost)
+}
+
 // RegisterMirrorRange is a no-op: mprotect keys on virtual pages.
 func (d *dthreadsProvider) RegisterMirrorRange(vpnBase uint64, pages int) {}
 

@@ -112,6 +112,12 @@ type Interface interface {
 	ClearPage(vpn uint64)
 	ClearRange(vpnBase uint64, pages int)
 	UnprotectForThread(tid guest.TID, vpn uint64)
+	// RearmPage re-protects one page for every current and future thread
+	// in a single operation, optionally re-granting one owner (owner ==
+	// guest.NoTID re-arms for everyone). Used by the sharing detector's
+	// epoch demotion: one hypercall/syscall instead of a
+	// protect+unprotect pair.
+	RearmPage(vpn uint64, owner guest.TID)
 	RegisterMirrorRange(vpnBase uint64, pages int)
 
 	// FaultInfo extracts the true faulting address from a delivered fault

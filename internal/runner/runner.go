@@ -53,6 +53,12 @@ type Spec struct {
 	// privately with workload.Build, which is deterministic, so cells
 	// never share compiled state.
 	Workload workload.Spec
+	// Source, when non-nil, supplies the guest program instead of
+	// Workload: any workload.Source (the phased/migratory/false-sharing
+	// generators, or a Spec) rides the same sweep machinery. Compilation
+	// must remain a pure function of the source for the determinism
+	// contract to hold.
+	Source workload.Source
 	// Config is the core.System configuration for this cell.
 	Config core.Config
 }
@@ -159,7 +165,11 @@ func Sweep(specs []Spec, opt Options) (*Report, error) {
 // runCell compiles and executes one cell in complete isolation: a fresh
 // program, a fresh machine, a fresh system.
 func runCell(s Spec) (Measurement, error) {
-	prog, err := workload.Build(s.Workload)
+	src := s.Source
+	if src == nil {
+		src = s.Workload
+	}
+	prog, err := src.Compile()
 	if err != nil {
 		return Measurement{}, err
 	}

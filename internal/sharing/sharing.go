@@ -38,6 +38,12 @@ type Provider interface {
 	ProtectRange(vpnBase uint64, pages int)
 	ClearRange(vpnBase uint64, pages int)
 	UnprotectForThread(tid guest.TID, vpn uint64)
+	// RearmPage re-protects one page for every current and future thread
+	// in a single operation, optionally re-granting access to one owner
+	// (owner == guest.NoTID re-arms for everyone). The epoch demotion
+	// primitive: Shared→Private(owner) and Shared→Unused both reduce to
+	// one protection change instead of a protect+unprotect pair.
+	RearmPage(vpn uint64, owner guest.TID)
 	RegisterMirrorRange(vpnBase uint64, pages int)
 	// FaultInfo reports whether the delivered fault was caused by
 	// provider protections and, if so, the true faulting address.
@@ -50,13 +56,15 @@ type Provider interface {
 // PageState is the sharing state of one application page.
 type PageState uint8
 
-// Page states (Figure 3).
+// Page states (Figure 3). Shared is terminal under the paper's state
+// machine; with an EpochPolicy enabled, epoch.go adds the demotion edges
+// Shared→Private(owner) and Shared→Unused.
 const (
 	// Unused: no thread has touched the page since protection.
 	Unused PageState = iota
 	// Private: exactly one thread has touched the page.
 	Private
-	// Shared: at least two threads have touched the page. Terminal.
+	// Shared: at least two threads have touched the page.
 	Shared
 )
 
@@ -73,10 +81,25 @@ func (s PageState) String() string {
 	return "state?"
 }
 
-// pageInfo is the per-page metadata stored in the first shadow map.
+// pageInfo is the per-page metadata stored in the first shadow map. The
+// epoch fields pack the owner-dominance accounting of epoch-based
+// re-privatization into the same cell: per epoch, who touched the page
+// first and whether anyone else did, plus the cross-epoch dominance and
+// quiescence streaks the demotion policy thresholds against.
 type pageInfo struct {
 	State PageState
 	Owner guest.TID // valid when State == Private
+
+	// Per-epoch accounting (reset by every EpochSweep).
+	epochTID   guest.TID // first thread to touch the page this epoch
+	epochHits  uint32    // accesses by epochTID this epoch
+	epochOther uint32    // accesses by every other thread this epoch
+	// Cross-epoch streaks.
+	domTID      guest.TID // dominance candidate across consecutive epochs
+	domEpochs   uint8     // consecutive epochs dominated by domTID
+	quietEpochs uint8     // consecutive access-free epochs
+	graceEpoch  bool      // just turned Shared; exempt from the next sweep
+	wasDemoted  bool      // page was demoted at least once (reshare stats)
 }
 
 // Analysis is the shared-data analysis plugged into AikidoSD — it receives
@@ -108,6 +131,19 @@ type Counters struct {
 	DRUnprotects uint64
 	// PagesProtected counts pages protected at startup/mmap time.
 	PagesProtected uint64
+
+	// Epoch re-privatization (epoch.go; all zero when disabled).
+	// EpochSweeps counts epoch-boundary sweeps; PagesDemotedPrivate and
+	// PagesDemotedUnused count Shared→Private(owner) and Shared→Unused
+	// demotions; PagesReshared counts demoted pages that later turned
+	// Shared again (the re-protection fault fired, proving no
+	// cross-thread access slipped through); PCsUninstrumented counts
+	// instrumented instructions returned to native form.
+	EpochSweeps         uint64
+	PagesDemotedPrivate uint64
+	PagesDemotedUnused  uint64
+	PagesReshared       uint64
+	PCsUninstrumented   uint64
 }
 
 // Detector is one AikidoSD instance.
@@ -136,6 +172,17 @@ type Detector struct {
 	// target the mirror copies of shared data, so their cache lines
 	// ping-pong between cores). Nil means no contention accounting.
 	live func() int
+
+	// Epoch re-privatization (epoch.go): the policy, its enable bit, the
+	// epoch clock's tick hook, and the dense list of Shared pages the
+	// sweep walks. The tick fires ONLY from the instrumented PreAccess
+	// path — never from HandleFault, where a sweep demoting the faulting
+	// page to the faulting thread would make the delivered fault look
+	// stale (a spurious fault).
+	epoch      EpochPolicy
+	epochOn    bool
+	tick       func()
+	epochPages []epochPage
 
 	// enabled gates page protection; Attach protects existing VMAs once
 	// at the end so partially constructed state never observes faults.
@@ -234,6 +281,7 @@ func (d *Detector) VMARemoved(v *guest.VMA) {
 		return
 	}
 	d.prov.ClearRange(vm.PageNum(v.Base), v.Pages)
+	d.dropEpochRange(vm.PageNum(v.Base), v.Pages)
 }
 
 // PageStateOf reports the sharing state of the page containing addr
@@ -297,12 +345,14 @@ func (d *Detector) HandleFault(t *guest.Thread, pc isa.PC, in isa.Instr, f *hype
 			return dbi.FaultRetry
 		}
 		// Third scenario: a second thread touched the page — it is now
-		// shared and globally protected, forever.
+		// shared and globally protected (terminally so unless an epoch
+		// policy later demotes it).
 		pi.State = Shared
 		pi.Owner = guest.NoTID
 		d.C.PagesPrivate--
 		d.C.PagesShared++
 		d.prov.ProtectPage(vpn)
+		d.noteShared(vpn, pi)
 		d.instrument(pc)
 		return dbi.FaultRetry
 
@@ -344,6 +394,15 @@ func (d *Detector) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
 	}
 	direct := in.Op.IsDirect()
 	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		if d.tick != nil {
+			// Epoch boundary check (allocation-free): a due sweep runs
+			// before this access observes page state, so demotions are
+			// never applied mid-lookup. This is the only tick point — in
+			// particular the fault path never ticks, so a delivered
+			// fault can never be made stale by a sweep that demotes the
+			// faulting page to the faulting thread mid-handling.
+			d.tick()
+		}
 		// The emitted Figure-4 sequence: inlined translation, branch,
 		// mirror-address computation, plus the re-JITed block's lost
 		// optimization opportunities.
@@ -365,10 +424,32 @@ func (d *Detector) Instrument(pc isa.PC, in isa.Instr) *dbi.Plan {
 				d.C.PrivateChecked++
 				return addr
 			}
+		} else if d.epochOn && pi.State != Shared {
+			// Transitional safety under demotion: a sweep may have just
+			// demoted this page, and this unconditional-redirect plan
+			// survives in already-JITed blocks until the flush takes
+			// effect at the next block entry. Redirecting through the
+			// mirror here would let a cross-thread access slip past the
+			// re-armed protection without faulting — run the original
+			// access instead, so it faults and re-drives the Figure 3
+			// transition. The check is charged only on this exit, not
+			// per direct access: it models the stale-window execution a
+			// real system would eliminate with synchronous block
+			// invalidation, not an emitted branch — steady-state direct
+			// code is either the unconditional rewrite (page Shared) or
+			// fully native (rebuilt after demotion), which is what
+			// keeps the -epoch PARSEC report byte-identical to the
+			// terminal-Shared baseline.
+			d.clock.Charge(d.costs.SharedCheck)
+			d.C.PrivateChecked++
+			return addr
 		}
 		// Shared: run the analysis, then make the access succeed
 		// despite the global protection.
 		d.C.SharedPageAccesses++
+		if d.epochOn && pi.State == Shared {
+			d.noteSharedAccess(tid, pi)
+		}
 		if d.analysis != nil {
 			d.analysis.OnSharedAccess(tid, pc, addr, size, write)
 		}

@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// FalseSharingSpec describes a page-granularity false-sharing workload:
+// every worker continuously accesses its own disjoint 8-byte slot, but
+// all slots live on the same small set of pages, so at AikidoSD's page
+// granularity the region is genuinely and permanently Shared even though
+// no two threads ever touch the same data. The generator is the control
+// case for epoch re-privatization: no thread ever dominates a page for a
+// whole epoch, so demotion must never fire and epoch-enabled runs should
+// cost the same as the terminal-Shared baseline.
+//
+// SlotStride is the sharing-pattern dial: 8 packs the slots densely
+// (classic false sharing, Threads slots per cache line region), larger
+// strides spread the threads across the page without changing the
+// page-level verdict.
+type FalseSharingSpec struct {
+	// Name labels the generated program.
+	Name string
+	// Threads is the number of worker threads.
+	Threads int
+	// Iters is the per-worker iteration count.
+	Iters int
+	// Pages is the number of falsely-shared pages, visited round-robin.
+	Pages int
+	// OpsPerIter is the number of slot accesses per iteration.
+	OpsPerIter int
+	// AluOps is the number of non-memory instructions per iteration.
+	AluOps int
+	// WritePct is the percentage (0..100) of slot accesses that are
+	// stores; 0 means the default of 50.
+	WritePct int
+	// SlotStride is the byte distance between consecutive workers' slots
+	// within a page (min 8; Threads*SlotStride must fit a page).
+	SlotStride int
+}
+
+// Validate checks the spec for structural problems.
+func (s *FalseSharingSpec) Validate() error {
+	if s.Threads < 1 || s.Iters < 1 {
+		return fmt.Errorf("falseshare %s: needs at least 1 thread and 1 iteration", s.Name)
+	}
+	if s.Pages < 1 || s.OpsPerIter < 1 {
+		return fmt.Errorf("falseshare %s: needs at least 1 page and 1 op", s.Name)
+	}
+	stride := s.SlotStride
+	if stride == 0 {
+		stride = 8
+	}
+	if stride < 8 || stride%8 != 0 {
+		return fmt.Errorf("falseshare %s: SlotStride %d must be a positive multiple of 8", s.Name, s.SlotStride)
+	}
+	if 8+s.Threads*stride > vm.PageSize {
+		return fmt.Errorf("falseshare %s: %d threads at stride %d exceed one page", s.Name, s.Threads, stride)
+	}
+	if s.WritePct < 0 || s.WritePct > 100 {
+		return fmt.Errorf("falseshare %s: bad WritePct %d", s.Name, s.WritePct)
+	}
+	return nil
+}
+
+// SourceName implements Source.
+func (s FalseSharingSpec) SourceName() string { return s.Name }
+
+// Compile implements Source.
+func (s FalseSharingSpec) Compile() (*isa.Program, error) { return BuildFalseSharing(s) }
+
+// Register plan (shares the phased generator's conventions).
+const (
+	fsIdx  = isa.R2
+	fsVal  = isa.R3
+	fsW    = isa.R4
+	fsSlot = isa.R5 // this worker's in-page slot offset
+	fsT1   = isa.R6
+	fsA    = isa.R7
+	fsJoin = isa.R13
+)
+
+// BuildFalseSharing compiles the spec into a program.
+func BuildFalseSharing(s FalseSharingSpec) (*isa.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := isa.NewBuilder(s.Name)
+	region := b.Global(s.Pages*vm.PageSize, vm.PageSize)
+	stride := s.SlotStride
+	if stride == 0 {
+		stride = 8
+	}
+
+	// --- main thread: spawn workers (serialized by lock 0), join, exit.
+	tids := b.GlobalArray(s.Threads)
+	for w := 0; w < s.Threads; w++ {
+		b.Lock(0)
+		b.MovImm(fsT1, int64(w))
+		b.ThreadCreate("worker", fsT1)
+		b.Unlock(0)
+		b.StoreAbs(tids+uint64(w*8), isa.R0)
+	}
+	for w := 0; w < s.Threads; w++ {
+		b.LoadAbs(fsJoin, tids+uint64(w*8))
+		b.ThreadJoin(fsJoin)
+	}
+	b.MovImm(isa.R0, 0)
+	b.Syscall(isa.SysExit)
+
+	// --- worker: R0 = worker index.
+	b.Label("worker")
+	b.Mov(fsW, isa.R0)
+	b.MovImm(fsVal, 1)
+	// Slot offset: 8 + w*SlotStride — disjoint 8-byte blocks per worker.
+	b.MovImm(fsT1, int64(stride))
+	b.Mul(fsSlot, fsW, fsT1)
+	b.AddImm(fsSlot, fsSlot, 8)
+
+	pct := s.WritePct
+	if pct == 0 {
+		pct = 50
+	}
+	writes := (s.OpsPerIter*pct + 50) / 100
+	b.LoopN(fsIdx, int64(s.Iters), func(b *isa.Builder) {
+		for i := 0; i < s.AluOps; i++ {
+			switch i % 3 {
+			case 0:
+				b.Add(fsVal, fsVal, fsIdx)
+			case 1:
+				b.Xor(fsVal, fsVal, fsIdx)
+			case 2:
+				b.Shl(fsVal, fsVal, 1)
+			}
+		}
+		for i := 0; i < s.OpsPerIter; i++ {
+			p := i % s.Pages
+			b.MovImm(fsT1, int64(region+uint64(p*vm.PageSize)))
+			b.Add(fsA, fsT1, fsSlot)
+			if i < writes {
+				b.Store(fsA, 0, fsVal)
+			} else {
+				b.Load(fsVal, fsA, 0)
+			}
+		}
+	})
+	b.Halt()
+
+	return b.Finish()
+}

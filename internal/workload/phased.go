@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// PhasedSpec describes a barrier-phased workload: a shared region split
+// into one partition per worker, a warm-up phase in which every worker
+// touches every page (driving the whole region Shared), then Phases
+// barrier-separated compute phases in which each worker works only on
+// "its" partition. MigrateStride dials the sharing pattern:
+//
+//   - MigrateStride == 0 (phased): partitions are fixed. After warm-up
+//     the region is effectively private again, but Figure 3's terminal
+//     Shared state keeps every access instrumented forever — the pattern
+//     epoch-based re-privatization exists for.
+//   - MigrateStride >= 1 (migratory): ownership rotates each phase
+//     (worker w owns partition (w + k*MigrateStride) mod Threads in
+//     phase k), modeling producer/consumer pipelines that hand data
+//     between threads. Each handoff re-faults once per page; the rest of
+//     the phase is single-owner.
+//
+// All cross-phase handoffs are barrier-ordered, so the workload is
+// race-free by construction — findings must be identical with and
+// without demotion, which the epochs experiment asserts.
+type PhasedSpec struct {
+	// Name labels the generated program.
+	Name string
+	// Threads is the number of worker threads (one partition each).
+	Threads int
+	// Phases is the number of barrier-separated compute phases after the
+	// warm-up phase.
+	Phases int
+	// PhaseIters is the per-worker iteration count within each phase.
+	PhaseIters int
+	// PagesPerPart is the number of pages in each worker's partition.
+	PagesPerPart int
+	// OpsPerIter is the number of partition accesses per iteration,
+	// striding across the partition's pages.
+	OpsPerIter int
+	// AluOps is the number of non-memory instructions per iteration.
+	AluOps int
+	// WritePct is the percentage (0..100) of partition accesses that are
+	// stores; 0 means the default of 50.
+	WritePct int
+	// MigrateStride rotates partition ownership between phases (see
+	// above). 0 keeps partitions fixed.
+	MigrateStride int
+	// WarmupOps is the number of stores each worker makes to every page
+	// of the region during warm-up (min 1); each worker writes its own
+	// 8-byte slot, so warm-up is race-free yet shares every page.
+	WarmupOps int
+}
+
+// Validate checks the spec for structural problems.
+func (s *PhasedSpec) Validate() error {
+	if s.Threads < 1 {
+		return fmt.Errorf("phased %s: needs at least 1 thread", s.Name)
+	}
+	if s.Phases < 1 || s.PhaseIters < 1 {
+		return fmt.Errorf("phased %s: needs at least 1 phase and 1 iteration", s.Name)
+	}
+	if s.PagesPerPart < 1 || s.OpsPerIter < 1 {
+		return fmt.Errorf("phased %s: needs at least 1 page and 1 op per partition", s.Name)
+	}
+	if s.MigrateStride < 0 || s.WritePct < 0 || s.WritePct > 100 {
+		return fmt.Errorf("phased %s: bad dial (MigrateStride %d, WritePct %d)",
+			s.Name, s.MigrateStride, s.WritePct)
+	}
+	return nil
+}
+
+// SourceName implements Source.
+func (s PhasedSpec) SourceName() string { return s.Name }
+
+// Compile implements Source.
+func (s PhasedSpec) Compile() (*isa.Program, error) { return BuildPhased(s) }
+
+// Register plan for the phased/migratory worker (R0/R1 are clobbered by
+// syscalls; R2 is the LoopN counter).
+const (
+	phIdx  = isa.R2  // loop counter
+	phVal  = isa.R3  // scratch value
+	phW    = isa.R4  // worker index (copied out of R0 at entry)
+	phBase = isa.R5  // current partition base
+	phT1   = isa.R6  // scratch
+	phPart = isa.R7  // partition index
+	phOff  = isa.R8  // warm-up slot offset
+	phA    = isa.R9  // effective address
+	phJoin = isa.R13 // main: child tid list walker
+)
+
+// phasedBarrierBase keeps phase-barrier ids clear of the generators' lock
+// ids and the Spec generator's barrier id 99.
+const phasedBarrierBase = 210
+
+// BuildPhased compiles the spec into a program.
+func BuildPhased(s PhasedSpec) (*isa.Program, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := isa.NewBuilder(s.Name)
+
+	partBytes := s.PagesPerPart * vm.PageSize
+	regionPages := s.Threads * s.PagesPerPart
+	region := b.Global(regionPages*vm.PageSize, vm.PageSize)
+	warmup := s.WarmupOps
+	if warmup < 1 {
+		warmup = 1
+	}
+
+	// --- main thread: spawn workers (serialized by lock 0), join, exit.
+	tids := b.GlobalArray(s.Threads)
+	for w := 0; w < s.Threads; w++ {
+		b.Lock(0)
+		b.MovImm(phT1, int64(w))
+		b.ThreadCreate("worker", phT1)
+		b.Unlock(0)
+		b.StoreAbs(tids+uint64(w*8), isa.R0)
+	}
+	for w := 0; w < s.Threads; w++ {
+		b.LoadAbs(phJoin, tids+uint64(w*8))
+		b.ThreadJoin(phJoin)
+	}
+	b.MovImm(isa.R0, 0)
+	b.Syscall(isa.SysExit)
+
+	// --- worker: R0 = worker index; copy it out of the syscall registers.
+	b.Label("worker")
+	b.Mov(phW, isa.R0)
+	b.MovImm(phVal, 1)
+
+	// Warm-up: every worker stores to its own 8-byte slot of every page,
+	// so every page ends Shared while no two threads touch one block.
+	b.Shl(phOff, phW, 3)
+	b.AddImm(phOff, phOff, 8)
+	for p := 0; p < regionPages; p++ {
+		b.MovImm(phT1, int64(region+uint64(p*vm.PageSize)))
+		b.Add(phA, phT1, phOff)
+		for j := 0; j < warmup; j++ {
+			b.Store(phA, 0, phVal)
+		}
+	}
+	b.Barrier(phasedBarrierBase, int64(s.Threads))
+
+	// --- compute phases.
+	pct := s.WritePct
+	if pct == 0 {
+		pct = 50
+	}
+	writes := (s.OpsPerIter*pct + 50) / 100
+	for k := 1; k <= s.Phases; k++ {
+		// Partition index: (w + k*MigrateStride) mod Threads, with the
+		// static summand pre-reduced so one conditional subtract folds
+		// the result into range.
+		c := (k * s.MigrateStride) % s.Threads
+		inRange := fmt.Sprintf(".ph%d_in", k)
+		b.AddImm(phPart, phW, int64(c))
+		b.BrImm(isa.LT, phPart, int64(s.Threads), inRange)
+		b.AddImm(phPart, phPart, int64(-s.Threads))
+		b.Label(inRange)
+		b.MovImm(phT1, int64(partBytes))
+		b.Mul(phBase, phPart, phT1)
+		b.MovImm(phT1, int64(region))
+		b.Add(phBase, phBase, phT1)
+
+		b.LoopN(phIdx, int64(s.PhaseIters), func(b *isa.Builder) {
+			for i := 0; i < s.AluOps; i++ {
+				switch i % 3 {
+				case 0:
+					b.Add(phVal, phVal, phIdx)
+				case 1:
+					b.Xor(phVal, phVal, phIdx)
+				case 2:
+					b.Shl(phVal, phVal, 1)
+				}
+			}
+			// Partition walk with a page-crossing stride so each page
+			// of the partition is touched (stores first, per WritePct).
+			for i := 0; i < s.OpsPerIter; i++ {
+				off := (int64(i)*(vm.PageSize+8) + 16) % (int64(partBytes) - 8)
+				off &^= 7
+				if i < writes {
+					b.Store(phBase, off, phVal)
+				} else {
+					b.Load(phVal, phBase, off)
+				}
+			}
+		})
+		b.Barrier(phasedBarrierBase+int64(k), int64(s.Threads))
+	}
+	b.Halt()
+
+	return b.Finish()
+}

@@ -18,6 +18,18 @@ import (
 	"repro/internal/vm"
 )
 
+// Source is any compilable workload specification: the concurrent runner
+// executes Sources without knowing their concrete shape, which is how the
+// phased/migratory/false-sharing generators (phased.go, falseshare.go)
+// ride the same experiment machinery as the PARSEC-style Spec.
+type Source interface {
+	// Compile builds the guest program. Must be a pure function of the
+	// spec (the runner's determinism contract relies on it).
+	Compile() (*isa.Program, error)
+	// SourceName labels the workload in reports and errors.
+	SourceName() string
+}
+
 // Spec describes one workload. All threads execute the same worker loop
 // (same PCs), as PARSEC worker pools do.
 type Spec struct {
@@ -139,6 +151,12 @@ func (s *Spec) ExpectedSharedFraction() float64 {
 	}
 	return sh / m
 }
+
+// Compile implements Source.
+func (s Spec) Compile() (*isa.Program, error) { return Build(s) }
+
+// SourceName implements Source.
+func (s Spec) SourceName() string { return s.Name }
 
 // Register allocation for the generated worker loop.
 const (
