@@ -7,10 +7,11 @@
 // Usage:
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
-//	              switch|providers|detectors|muxbench|epochs|scaling|nondet|
-//	              stm|crew]
+//	              switch|providers|detectors|muxbench|epochs|deferred|scaling|
+//	              nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
-//	             [-muxjson FILE] [-epochjson FILE] [-epoch]
+//	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
+//	             [-epoch] [-dispatch inline|deferred]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
 //	aikido-bench -compare OLD.json,NEW.json [-max-regress-pct P]
 //
@@ -44,6 +45,15 @@
 // measures the demotion win on the phased/migratory workload suite, where
 // it does fire.
 //
+// -dispatch selects the analysis dispatch mode for every analysis-bearing
+// cell: inline clean calls per access (the default) or deferred per-thread
+// rings drained in batches at synchronization boundaries. Under the
+// default cost model the two are byte-identical — CI's 4th equivalence leg
+// diffs a "-dispatch deferred" report against the inline baseline to pin
+// exactly that. The deferred experiment (and -deferredjson, the
+// BENCH_5.json source) measures the batching win under the explicit
+// transition-cost model (stats.DispatchCosts).
+//
 // -compare OLD,NEW is the CI bench-regression gate: both files must be
 // BENCH-style snapshots of the same schema and scale, and the command
 // exits nonzero when NEW's geomean cycle speedup is more than
@@ -55,21 +65,23 @@ import (
 	"fmt"
 	"os"
 	"runtime"
-	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
 	jsonOut := flag.String("json", "", "write a machine-readable bench report to this file (\"-\" = stdout) instead of running text experiments")
 	muxOut := flag.String("muxjson", "", "write the mux-amortization report (BENCH_3.json snapshots) to this file (\"-\" = stdout)")
 	epochOut := flag.String("epochjson", "", "write the epoch re-privatization report (BENCH_4.json snapshots) to this file (\"-\" = stdout)")
+	deferredOut := flag.String("deferredjson", "", "write the deferred-dispatch amortization report (BENCH_5.json snapshots) to this file (\"-\" = stdout)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
+	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline or deferred (CI diffs deferred against the inline baseline)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
 	compare := flag.String("compare", "", "OLD.json,NEW.json: compare two BENCH snapshots of one schema and fail on regression (CI gate)")
@@ -77,9 +89,9 @@ func main() {
 	flag.Parse()
 
 	if *compare != "" {
-		oldPath, newPath, ok := strings.Cut(*compare, ",")
-		if !ok || oldPath == "" || newPath == "" {
-			fmt.Fprintln(os.Stderr, "aikido-bench: -compare wants OLD.json,NEW.json")
+		oldPath, newPath, err := experiments.ParseComparePair(*compare)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 			os.Exit(2)
 		}
 		summary, err := experiments.CompareSnapshots(oldPath, newPath, *maxRegress)
@@ -93,8 +105,14 @@ func main() {
 		return
 	}
 
+	dm, err := core.ParseDispatchMode(*dispatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+		os.Exit(2)
+	}
 	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers,
-		Deterministic: *det, Analyses: analysis.ParseList(*analyses), Epoch: *epoch}
+		Deterministic: *det, Analyses: analysis.ParseList(*analyses), Epoch: *epoch,
+		Dispatch: dm}
 	w := os.Stdout
 
 	openOut := func(path string) *os.File {
@@ -109,9 +127,9 @@ func main() {
 		return f
 	}
 
-	// -json, -muxjson and -epochjson each replace the text experiments;
-	// given together, every requested report is produced.
-	if *jsonOut != "" || *muxOut != "" || *epochOut != "" {
+	// -json, -muxjson, -epochjson and -deferredjson each replace the text
+	// experiments; given together, every requested report is produced.
+	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -153,6 +171,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WriteEpochJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *deferredOut != "" {
+			rep, err := experiments.DeferredJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: deferredjson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*deferredOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteDeferredJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -257,6 +290,14 @@ func main() {
 			return err
 		}
 		experiments.WriteEpochs(w, rows)
+		return nil
+	})
+	run("deferred", func() error {
+		rows, err := experiments.DeferredAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteDeferredAmortization(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

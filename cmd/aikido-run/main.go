@@ -6,6 +6,7 @@
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
 //	           [-analysis NAME[,NAME...]] [-max-findings N] [-epoch]
+//	           [-dispatch inline|deferred]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
 //	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
@@ -25,6 +26,12 @@
 // owner are demoted to Private(owner)/Unused at epoch boundaries and
 // their instructions return to native speed; the epoch statistics lines
 // report the demotion traffic.
+//
+// -dispatch deferred banks access events in per-thread rings and replays
+// them through the selected analyses in deterministic batches at
+// synchronization boundaries instead of calling them per access; findings
+// and statistics are identical to the inline default (the run report adds
+// the pipeline's drain/record counts).
 //
 // -list-analyses prints the registry catalog: canonical names, the short
 // aliases that resolve to them, and the wrapper combinator in composed
@@ -54,8 +61,9 @@ func main() {
 	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list), or \"all\" to sweep every model")
 	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
 	analyses := flag.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
-	maxFindings := flag.Int("max-findings", 0, "cap stored findings per analysis (0 = each detector's default)")
+	maxFindings := flag.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
+	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode: inline (per access) or deferred (batched ring drains)")
 	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := flag.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
 	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
@@ -123,6 +131,12 @@ func main() {
 	cfg := core.DefaultConfig(m)
 	cfg.Analyses = analysis.ParseList(*analyses)
 	cfg.MaxFindings = *maxFindings
+	dm, err := core.ParseDispatchMode(*dispatch)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		os.Exit(2)
+	}
+	cfg.Dispatch = dm
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
@@ -197,6 +211,9 @@ func main() {
 	fmt.Printf("memory refs      %d\n", res.Engine.MemRefs)
 	fmt.Printf("instrumented     %d\n", res.Engine.InstrumentedExecs)
 	fmt.Printf("context switches %d\n", res.GuestContextSwitches)
+	if res.DeferredDrains > 0 {
+		fmt.Printf("deferred drains  %d (%d access records banked)\n", res.DeferredDrains, res.DeferredRecords)
+	}
 	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
 		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)
 		fmt.Printf("shared accesses  %d (%.2f%% of memory refs)\n",

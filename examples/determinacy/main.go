@@ -14,6 +14,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/spbags"
 	"repro/internal/workload"
 )
@@ -32,11 +33,11 @@ func check(label string, spec workload.ForkJoinSpec, note string) (spRaces, ftRa
 		log.Fatal(err)
 	}
 	fmt.Printf("%-16s SP-bags: %3d   FastTrack: %3d   %s\n",
-		label, len(rep.Races), len(ft.Races()), note)
+		label, len(rep.Races), len(fasttrack.RacesIn(ft.Findings)), note)
 	if len(rep.Races) > 0 {
 		fmt.Printf("%-16s first report: %v\n", "", rep.Races[0])
 	}
-	return len(rep.Races), len(ft.Races())
+	return len(rep.Races), len(fasttrack.RacesIn(ft.Findings))
 }
 
 func main() {

@@ -26,6 +26,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
 )
 
@@ -63,7 +64,7 @@ func races(prog *isa.Program, mode core.Mode) int {
 	if err != nil {
 		log.Fatal(err)
 	}
-	return len(res.Races())
+	return len(fasttrack.RacesIn(res.Findings))
 }
 
 func main() {
@@ -100,7 +101,7 @@ func main() {
 			log.Fatal(err)
 		}
 		sig := fmt.Sprintf("cycles=%d instrs=%d races=%d",
-			res.Cycles, res.Engine.Instructions, len(res.Races()))
+			res.Cycles, res.Engine.Instructions, len(fasttrack.RacesIn(res.Findings)))
 		fmt.Printf("run %d: %s\n", run+1, sig)
 		if run == 0 {
 			first = sig

@@ -23,7 +23,9 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
+	"repro/internal/lockset"
 )
 
 func main() {
@@ -97,16 +99,16 @@ func main() {
 
 	fmt.Println("=== Eraser LockSet over Aikido ===")
 	fmt.Printf("accesses analyzed (shared pages only): %d\n", ls.SD.SharedPageAccesses)
-	fmt.Printf("lockset refinements: %d\n", ls.LS().Refinements)
+	fmt.Printf("lockset refinements: %d\n", lockset.CountersIn(ls.Findings).Refinements)
 	fmt.Println("discipline violations:")
-	for _, w := range ls.Warnings() {
+	for _, w := range lockset.WarningsIn(ls.Findings) {
 		fmt.Printf("  %s — %v\n", name(w.Addr), w)
 	}
 
 	fmt.Println()
 	fmt.Println("=== FastTrack, same multiplexed pass ===")
 	fmt.Println("races:")
-	for _, r := range ft.Races() {
+	for _, r := range fasttrack.RacesIn(ft.Findings) {
 		fmt.Printf("  %s — %v\n", name(r.Addr), r)
 	}
 
@@ -117,13 +119,13 @@ func main() {
 
 	// Sanity for CI-style runs.
 	hasLS := map[string]bool{}
-	for _, w := range ls.Warnings() {
+	for _, w := range lockset.WarningsIn(ls.Findings) {
 		hasLS[name(w.Addr)] = true
 	}
 	if !hasLS["bad (per-thread locks)"] || !hasLS["ordered (join-ordered, unlocked)"] {
 		log.Fatal("LockSet missed an expected violation")
 	}
-	for _, r := range ft.Races() {
+	for _, r := range fasttrack.RacesIn(ft.Findings) {
 		if r.Addr == good || r.Addr == ordered {
 			log.Fatal("FastTrack flagged a non-racing variable")
 		}

@@ -12,6 +12,7 @@ import (
 	"log"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
 )
 
@@ -80,11 +81,11 @@ func main() {
 	fmt.Printf("slowdown, FastTrack-full:   %.1fx\n", full.Slowdown(native))
 	fmt.Printf("slowdown, Aikido-FastTrack: %.1fx\n", aikido.Slowdown(native))
 	fmt.Println()
-	fmt.Printf("races found by Aikido-FastTrack: %d\n", len(aikido.Races()))
-	for _, r := range aikido.Races() {
+	fmt.Printf("races found by Aikido-FastTrack: %d\n", len(fasttrack.RacesIn(aikido.Findings)))
+	for _, r := range fasttrack.RacesIn(aikido.Findings) {
 		fmt.Printf("  %v\n", r)
 	}
-	if len(aikido.Races()) == 0 {
+	if len(fasttrack.RacesIn(aikido.Findings)) == 0 {
 		log.Fatal("expected to find the counter race")
 	}
 }

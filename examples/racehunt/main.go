@@ -100,19 +100,19 @@ func main() {
 
 	fmt.Println("=== hunting the canneal-style RNG race (paper §5.3) ===")
 	fmt.Printf("FastTrack-full:    %d races total, %d on the RNG state word\n",
-		len(full.Races()), len(onState(full.Races())))
+		len(fasttrack.RacesIn(full.Findings)), len(onState(fasttrack.RacesIn(full.Findings))))
 	fmt.Printf("Aikido-FastTrack:  %d races total, %d on the RNG state word\n",
-		len(aikido.Races()), len(onState(aikido.Races())))
+		len(fasttrack.RacesIn(aikido.Findings)), len(onState(fasttrack.RacesIn(aikido.Findings))))
 	fmt.Println()
 	fmt.Println("sample reports from Aikido-FastTrack:")
-	for i, r := range onState(aikido.Races()) {
+	for i, r := range onState(fasttrack.RacesIn(aikido.Findings)) {
 		if i == 4 {
 			break
 		}
 		fmt.Printf("  %v\n", r)
 	}
 
-	if len(onState(full.Races())) == 0 || len(onState(aikido.Races())) == 0 {
+	if len(onState(fasttrack.RacesIn(full.Findings))) == 0 || len(onState(fasttrack.RacesIn(aikido.Findings))) == 0 {
 		log.Fatal("expected both detectors to flag the RNG state")
 	}
 	fmt.Println()

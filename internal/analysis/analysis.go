@@ -93,9 +93,12 @@ type Analysis interface {
 	// analyses' metadata-contention models.
 	AddThread(delta int)
 
-	// SetMaxFindings caps stored findings (races, warnings, violations…;
-	// 0 restores the analysis's default). Further findings are counted
-	// but not stored.
+	// SetMaxFindings caps stored findings (races, warnings, violations…).
+	// n > 0 stores at most n findings; n == 0 restores the analysis's
+	// default; n < 0 stores none at all. Findings beyond the cap are
+	// counted but not stored. The negative form exists for the Mux's
+	// per-run budget division, which must be able to hand a member an
+	// explicit zero allotment without resetting it to its default.
 	SetMaxFindings(n int)
 	// Report returns the analysis's findings. It may be called once, at
 	// the end of a run.
@@ -114,6 +117,24 @@ type Env struct {
 	// Umbra is the process's shadow-memory engine (nil outside a system,
 	// and in modes that do not attach shadow memory).
 	Umbra *umbra.Umbra
+}
+
+// WrappedFindings is the optional surface wrapper findings (the sampler's)
+// implement so consumers can reach the wrapped analysis's typed findings
+// without importing the wrapper package. Unwrap peels it.
+type WrappedFindings interface {
+	InnerFindings() Findings
+}
+
+// Unwrap peels wrapper findings down to the innermost findings value.
+func Unwrap(f Findings) Findings {
+	for {
+		w, ok := f.(WrappedFindings)
+		if !ok {
+			return f
+		}
+		f = w.InnerFindings()
+	}
 }
 
 // NoSync is an embeddable base providing no-op implementations of every

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"repro/internal/guest"
+	"repro/internal/isa"
+)
+
+// AccessRecord is the compact event the deferred dispatch pipeline banks
+// in its per-thread rings: one memory access, exactly as the inline hooks
+// would have seen it, plus the global sequence number that recovers the
+// original program order when rings from several threads are merged at a
+// drain point. Shared distinguishes the two inline entry points: true for
+// OnSharedAccess (the AikidoSD client surface), false for OnAccess (full
+// instrumentation).
+type AccessRecord struct {
+	// Seq is the global push order across every thread's ring; drains
+	// replay records in strictly increasing Seq, so a batched analysis
+	// observes the same event order as an inline one.
+	Seq  uint64
+	Addr uint64
+	PC   isa.PC
+	TID  guest.TID
+	Size uint8
+	// Write and Shared pack the access kind.
+	Write  bool
+	Shared bool
+}
+
+// BatchAnalysis is the optional batch entry point an Analysis may
+// implement to consume drained access records wholesale: one call per
+// drain instead of one interface call per access. Records arrive in
+// global sequence order and must be processed exactly as the equivalent
+// inline OnAccess/OnSharedAccess calls would have been — the deferred
+// pipeline's equivalence contract (findings and counters byte-identical
+// to inline dispatch) holds only if batch consumption is a pure
+// reordering of *when* the work happens, never of *what* it observes.
+// Analyses that do not implement it are fed through DispatchBatch's
+// one-record-at-a-time adapter and work unchanged.
+type BatchAnalysis interface {
+	OnAccessBatch(recs []AccessRecord)
+}
+
+// DispatchBatch feeds a drained batch to a: through OnAccessBatch when a
+// implements it, otherwise through the default adapter that replays each
+// record on the inline hook it was recorded from. The adapter is the
+// compatibility half of the batch seam — all registered detectors work
+// under deferred dispatch without knowing it exists.
+func DispatchBatch(a Analysis, recs []AccessRecord) {
+	if ba, ok := a.(BatchAnalysis); ok {
+		ba.OnAccessBatch(recs)
+		return
+	}
+	ReplayBatch(a, recs)
+}
+
+// ReplayBatch is the default batch adapter: each record is replayed on the
+// hook it was recorded from, in order. Exported so batch-aware analyses
+// (and the mux) can fall back to it per member.
+func ReplayBatch(a Analysis, recs []AccessRecord) {
+	for i := range recs {
+		r := &recs[i]
+		if r.Shared {
+			a.OnSharedAccess(r.TID, r.PC, r.Addr, r.Size, r.Write)
+		} else {
+			a.OnAccess(r.TID, r.PC, r.Addr, r.Size, r.Write)
+		}
+	}
+}
+
+// OnAccessBatch implements BatchAnalysis: the mux hands the whole batch to
+// each member in dispatch order (via its batch entry point when it has
+// one). Per-member contiguous iteration is the locality the deferred
+// pipeline's cost model amortizes: one transition into each analysis per
+// drain instead of one per access per analysis.
+func (m *Mux) OnAccessBatch(recs []AccessRecord) {
+	for _, a := range m.list {
+		DispatchBatch(a, recs)
+	}
+}

@@ -27,8 +27,10 @@ func (d *Detector) OnExit(tid guest.TID) {}
 // SetMaxFindings implements analysis.Analysis, capping stored violations
 // (0 restores the default).
 func (d *Detector) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxViolations
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	d.MaxViolations = n
 }

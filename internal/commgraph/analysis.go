@@ -24,19 +24,19 @@ func (a *Analysis) Name() string { return Kind }
 func (a *Analysis) OnExit(tid guest.TID) {}
 
 // SetMaxFindings implements analysis.Analysis, capping the edges a Report
-// stores (heaviest first; 0 = all). The full graph stays queryable through
-// Edges and HotPages.
+// stores (heaviest first; 0 = all, negative = none). The full graph stays
+// queryable through Edges and HotPages.
 func (a *Analysis) SetMaxFindings(n int) {
-	if n < 0 {
-		n = 0
-	}
 	a.MaxEdges = n
 }
 
 // Report implements analysis.Analysis.
 func (a *Analysis) Report() analysis.Findings {
 	edges := a.Edges()
-	if a.MaxEdges > 0 && len(edges) > a.MaxEdges {
+	switch {
+	case a.MaxEdges < 0:
+		edges = nil // explicit zero allotment: store nothing
+	case a.MaxEdges > 0 && len(edges) > a.MaxEdges:
 		edges = edges[:a.MaxEdges]
 	}
 	return &Findings{Counters: a.C, Edges: edges}

@@ -58,7 +58,8 @@ type Analysis struct {
 	clock *stats.Clock
 	costs stats.CostModel
 
-	// MaxEdges caps the edges a Report stores (heaviest first; 0 = all).
+	// MaxEdges caps the edges a Report stores (heaviest first; 0 = all,
+	// negative = none).
 	MaxEdges int
 
 	C Counters

@@ -14,6 +14,16 @@ type Edge = commgraph.Edge
 
 var New = commgraph.New
 
+// cgOf and cgEdges recover the profiler's typed findings from a run (the
+// removed deprecated Result.CG/CommEdges accessors' replacement).
+func cgOf(r *core.Result) commgraph.Counters {
+	return r.AnalysisFindings("commgraph").(*commgraph.Findings).Counters
+}
+
+func cgEdges(r *core.Result) []commgraph.WeightedEdge {
+	return r.AnalysisFindings("commgraph").(*commgraph.Findings).Edges
+}
+
 func TestEdgeAccumulation(t *testing.T) {
 	a := New(&stats.Clock{}, stats.DefaultCosts())
 	a.OnAccess(1, 0, 0x1000, 8, true) // t1 writes
@@ -129,15 +139,15 @@ func TestAikidoNearLossless(t *testing.T) {
 	full := run(core.ModeFastTrackFull) // "full" = conservative instrumentation
 	aik := run(core.ModeAikidoFastTrack)
 
-	if len(full.CommEdges()) == 0 {
+	if len(cgEdges(full)) == 0 {
 		t.Fatal("no communication observed at all")
 	}
 	fullW := map[Edge]uint64{}
-	for _, e := range full.CommEdges() {
+	for _, e := range cgEdges(full) {
 		fullW[e.Edge] = e.Weight
 	}
 	aikW := map[Edge]uint64{}
-	for _, e := range aik.CommEdges() {
+	for _, e := range cgEdges(aik) {
 		aikW[e.Edge] = e.Weight
 	}
 	// Every Aikido edge must exist in the full graph, and the total
@@ -148,16 +158,16 @@ func TestAikidoNearLossless(t *testing.T) {
 			t.Errorf("Aikido found edge %v (weight %d) absent from full graph", e, w)
 		}
 	}
-	if aik.CG().Communications == 0 {
+	if cgOf(aik).Communications == 0 {
 		t.Fatal("Aikido observed no communication")
 	}
-	lost := int64(full.CG().Communications) - int64(aik.CG().Communications)
+	lost := int64(cgOf(full).Communications) - int64(cgOf(aik).Communications)
 	if lost < 0 {
 		t.Errorf("Aikido observed more communication (%d) than full (%d)",
-			aik.CG().Communications, full.CG().Communications)
+			cgOf(aik).Communications, cgOf(full).Communications)
 	}
-	if float64(lost) > 0.10*float64(full.CG().Communications) {
-		t.Errorf("Aikido lost %d of %d communications (> 10%%)", lost, full.CG().Communications)
+	if float64(lost) > 0.10*float64(cgOf(full).Communications) {
+		t.Errorf("Aikido lost %d of %d communications (> 10%%)", lost, cgOf(full).Communications)
 	}
 }
 
@@ -180,12 +190,12 @@ func TestAikidoMissesOneShotHandoff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if full.CG().Communications == 0 {
+	if cgOf(full).Communications == 0 {
 		t.Fatal("full instrumentation missed the handoff too (workload broken)")
 	}
-	if aik.CG().Communications != 0 {
+	if cgOf(aik).Communications != 0 {
 		t.Skipf("scheduling interleaved the producer after all (%d comms observed)",
-			aik.CG().Communications)
+			cgOf(aik).Communications)
 	}
 }
 

@@ -22,13 +22,13 @@ func runWith(t *testing.T, prog *isa.Program, mode Mode, analyses ...string) *Re
 func TestLockSetOverAikidoFindsDisciplineViolation(t *testing.T) {
 	prog := sharedProgram(60, false) // unlocked shared counter
 	res := runWith(t, prog, ModeAikidoFastTrack, "lockset")
-	if len(res.Warnings()) == 0 {
+	if len(warningsOf(res)) == 0 {
 		t.Fatal("LockSet over Aikido missed the unlocked counter")
 	}
-	if len(res.Races()) != 0 {
+	if len(racesOf(res)) != 0 {
 		t.Error("FastTrack races reported by a LockSet run")
 	}
-	if res.LS().Refinements == 0 {
+	if lsOf(res).Refinements == 0 {
 		t.Error("no lockset refinements recorded")
 	}
 }
@@ -64,8 +64,8 @@ func TestLockSetCleanOnLockedProgram(t *testing.T) {
 
 	for _, mode := range []Mode{ModeFastTrackFull, ModeAikidoFastTrack} {
 		res := runWith(t, prog, mode, "lockset")
-		if len(res.Warnings()) != 0 {
-			t.Errorf("%v: disciplined counter warned: %v", mode, res.Warnings()[0])
+		if len(warningsOf(res)) != 0 {
+			t.Errorf("%v: disciplined counter warned: %v", mode, warningsOf(res)[0])
 		}
 	}
 }
@@ -74,14 +74,14 @@ func TestLockSetFullAndAikidoAgree(t *testing.T) {
 	prog := sharedProgram(60, false)
 	full := runWith(t, prog, ModeFastTrackFull, "lockset")
 	aikido := runWith(t, prog, ModeAikidoFastTrack, "lockset")
-	if len(full.Warnings()) == 0 || len(aikido.Warnings()) == 0 {
-		t.Fatalf("warnings: full=%d aikido=%d", len(full.Warnings()), len(aikido.Warnings()))
+	if len(warningsOf(full)) == 0 || len(warningsOf(aikido)) == 0 {
+		t.Fatalf("warnings: full=%d aikido=%d", len(warningsOf(full)), len(warningsOf(aikido)))
 	}
 	fa := map[uint64]bool{}
-	for _, w := range full.Warnings() {
+	for _, w := range warningsOf(full) {
 		fa[w.Addr] = true
 	}
-	for _, w := range aikido.Warnings() {
+	for _, w := range warningsOf(aikido) {
 		if !fa[w.Addr] {
 			t.Errorf("aikido-only warning at %#x", w.Addr)
 		}
@@ -118,17 +118,17 @@ func TestLockSetFlagsFalsePositiveThatFastTrackAvoids(t *testing.T) {
 
 	ft := runWith(t, prog, ModeFastTrackFull, "fasttrack")
 	ls := runWith(t, prog, ModeFastTrackFull, "lockset")
-	if len(ft.Races()) != 0 {
-		t.Errorf("FastTrack flagged join-ordered writes: %v", ft.Races())
+	if len(racesOf(ft)) != 0 {
+		t.Errorf("FastTrack flagged join-ordered writes: %v", racesOf(ft))
 	}
 	found := false
-	for _, w := range ls.Warnings() {
+	for _, w := range warningsOf(ls) {
 		if w.Addr == x {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("LockSet did not flag the unlocked (but ordered) writes: %v", ls.Warnings())
+		t.Errorf("LockSet did not flag the unlocked (but ordered) writes: %v", warningsOf(ls))
 	}
 }
 
@@ -142,7 +142,7 @@ func TestSamplingTradesAccuracyForSpeed(t *testing.T) {
 	if sampled.Cycles >= full.Cycles {
 		t.Errorf("sampling (%d cycles) not cheaper than full (%d)", sampled.Cycles, full.Cycles)
 	}
-	if len(full.Races()) == 0 {
+	if len(racesOf(full)) == 0 {
 		t.Fatal("full FastTrack missed the counter race")
 	}
 	// The sampler's burst usually catches the hot counter race too (the
@@ -151,18 +151,18 @@ func TestSamplingTradesAccuracyForSpeed(t *testing.T) {
 	// sampler unit tests. Here we only require soundness of what it does
 	// report: every sampled-detector race is one the full detector found.
 	fa := map[uint64]bool{}
-	for _, r := range full.Races() {
+	for _, r := range racesOf(full) {
 		fa[r.Addr] = true
 	}
-	for _, r := range sampled.Races() {
+	for _, r := range racesOf(sampled) {
 		if !fa[r.Addr] {
 			t.Errorf("sampler invented a race at %#x", r.Addr)
 		}
 	}
-	if sampled.Sampling().Sampled == 0 {
+	if samplingOf(sampled).Sampled == 0 {
 		t.Error("sampler analyzed nothing")
 	}
-	if sampled.Sampling().Sampled >= sampled.Sampling().Seen {
+	if samplingOf(sampled).Sampled >= samplingOf(sampled).Seen {
 		t.Error("sampler never skipped an access on a hot loop")
 	}
 }
@@ -170,7 +170,7 @@ func TestSamplingTradesAccuracyForSpeed(t *testing.T) {
 func TestDefaultAnalysisIsFastTrack(t *testing.T) {
 	prog := sharedProgram(30, true)
 	res := runWith(t, prog, ModeAikidoFastTrack, "fasttrack")
-	if res.FT().Reads+res.FT().Writes == 0 {
+	if ftOf(res).Reads+ftOf(res).Writes == 0 {
 		t.Error("default analysis did not run")
 	}
 }
@@ -206,19 +206,19 @@ func TestAtomicityCheckerOverAikido(t *testing.T) {
 	prog := b.MustFinish()
 
 	res := runWith(t, prog, ModeAikidoFastTrack, "atomicity")
-	if len(res.Violations()) == 0 {
+	if len(violationsOf(res)) == 0 {
 		t.Fatal("atomicity checker missed the interleaved unlocked write")
 	}
 	found := false
-	for _, viol := range res.Violations() {
+	for _, viol := range violationsOf(res) {
 		if viol.Addr == v && viol.Pattern == "R-W-W" {
 			found = true
 		}
 	}
 	if !found {
-		t.Errorf("expected R-W-W on %#x, got %v", v, res.Violations())
+		t.Errorf("expected R-W-W on %#x, got %v", v, violationsOf(res))
 	}
-	if res.Atom().Regions == 0 {
+	if atomOf(res).Regions == 0 {
 		t.Error("no regions tracked")
 	}
 
@@ -242,7 +242,7 @@ func TestAtomicityCheckerOverAikido(t *testing.T) {
 	b2.LoopN(isa.R2, 50, body)
 	b2.Halt()
 	clean := runWith(t, b2.MustFinish(), ModeAikidoFastTrack, "atomicity")
-	if len(clean.Violations()) != 0 {
-		t.Errorf("properly locked increments reported: %v", clean.Violations())
+	if len(violationsOf(clean)) != 0 {
+		t.Errorf("properly locked increments reported: %v", violationsOf(clean))
 	}
 }

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/dbi"
+	"repro/internal/fasttrack"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/isa"
@@ -50,7 +51,6 @@ import (
 	// package and an import — no enum case, no switch.
 	_ "repro/internal/atomicity"
 	_ "repro/internal/commgraph"
-	_ "repro/internal/fasttrack"
 	_ "repro/internal/lockset"
 	_ "repro/internal/memcheck"
 	_ "repro/internal/sampler"
@@ -121,19 +121,21 @@ type Config struct {
 	// are not.
 	Provider provider.Kind
 
-	// MaxFindings caps each selected analysis's stored findings — races,
-	// warnings, violations, flows — uniformly (0 = each detector's
-	// default). Before the registry existed this knob was FastTrack-only
-	// and silently did nothing when LockSet or the atomicity checker was
-	// selected.
+	// MaxFindings caps stored findings — races, warnings, violations,
+	// flows — uniformly for the whole run (0 = each detector's default):
+	// the budget is divided across the selected analyses in configuration
+	// order, so "-analysis a,b" with a cap of N stores at most N findings
+	// in total, not N per analysis. (It used to be forwarded whole to
+	// every member, so multi-analysis runs silently stored members×N.)
 	MaxFindings int
 
-	// MaxRaces caps stored findings.
-	//
-	// Deprecated: use MaxFindings, which applies to every selected
-	// analysis. MaxRaces is honored (as a MaxFindings fallback) for one
-	// release.
-	MaxRaces int
+	// Dispatch selects how access events reach the selected analyses:
+	// synchronously per access (DispatchInline, the default) or banked in
+	// per-thread rings and replayed in batches at synchronization
+	// boundaries (DispatchDeferred). Findings and simulated counters are
+	// byte-identical either way; see DispatchDeferred for the drain
+	// points and the fallback for register-dataflow analyses.
+	Dispatch DispatchMode
 
 	// NoMirror is an ablation: instead of redirecting shared accesses to
 	// mirror pages, AikidoSD unprotects the page around every shared
@@ -163,15 +165,6 @@ func (c Config) WithAnalyses(names ...string) Config {
 	return c
 }
 
-// maxFindings resolves the findings cap, honoring the deprecated MaxRaces
-// field when MaxFindings is unset.
-func (c Config) maxFindings() int {
-	if c.MaxFindings > 0 {
-		return c.MaxFindings
-	}
-	return c.MaxRaces
-}
-
 // System is one assembled simulation.
 type System struct {
 	Cfg     Config
@@ -193,7 +186,11 @@ type System struct {
 	// type-assert the members.
 	Analyses []analysis.Analysis
 
-	an analysis.Analysis // the mux over Analyses (nil when none run)
+	// an is the dispatch stack over Analyses (nil when none run): the mux,
+	// wrapped by the deferred pipeline or the inline dispatch charger when
+	// the configuration asks for them.
+	an   analysis.Analysis
+	pipe *pipeline // non-nil only under effective deferred dispatch
 }
 
 // Analysis returns the active analysis registered under the (canonical)
@@ -208,9 +205,11 @@ func (s *System) Analysis(name string) analysis.Analysis {
 	return nil
 }
 
-// newAnalyses instantiates the configured analyses and the mux that fans
-// the instrumented execution out to them. It must run after shadow memory
-// is attached (factories may require Env.Umbra).
+// newAnalyses instantiates the configured analyses, the mux that fans the
+// instrumented execution out to them, and the configured dispatch layer
+// over the mux. It must run after shadow memory is attached (factories may
+// require Env.Umbra). The findings cap is applied through the mux so its
+// per-run budget division governs multi-analysis selections.
 func (s *System) newAnalyses() (analysis.Analysis, error) {
 	names := s.Cfg.Analyses
 	if names == nil {
@@ -224,13 +223,12 @@ func (s *System) newAnalyses() (analysis.Analysis, error) {
 	if err != nil {
 		return nil, err
 	}
-	if max := s.Cfg.maxFindings(); max > 0 {
-		for _, a := range as {
-			a.SetMaxFindings(max)
-		}
-	}
 	s.Analyses = as
-	return analysis.NewMux(as...), nil
+	m := analysis.NewMux(as...)
+	if max := s.Cfg.MaxFindings; max != 0 {
+		m.SetMaxFindings(max)
+	}
+	return s.wrapDispatch(m), nil
 }
 
 // NewSystem loads prog and assembles the configured stack.
@@ -298,7 +296,23 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 		if cfg.Epoch.Enabled() {
 			s.SD.EnableEpochs(cfg.Epoch)
 			s.Epochs = newEpochClock(clock, cfg.Epoch.Interval, s.SD.EpochSweep)
-			s.SD.SetEpochTicker(s.Epochs.MaybeTick)
+			tick := s.Epochs.MaybeTick
+			if s.pipe != nil {
+				// An armed epoch clock reads the simulated clock between
+				// accesses. Banked records carry analysis charges that
+				// have not landed yet, so a non-empty ring must drain
+				// before every boundary check for the clock values the
+				// check observes — and therefore the tick points — to be
+				// identical to inline dispatch. Epoch runs consequently
+				// drain per instrumented access: correctness keeps
+				// byte-identity, at the price of the batching win.
+				pipe, epochs := s.pipe, s.Epochs
+				tick = func() {
+					pipe.drain()
+					epochs.MaybeTick()
+				}
+			}
+			s.SD.SetEpochTicker(tick)
 		}
 
 	default:
@@ -500,6 +514,13 @@ type Result struct {
 	// clock (0 when Config.Epoch is disabled; demotion detail lives in
 	// SD.EpochSweeps / SD.PagesDemoted* / SD.PagesReshared).
 	EpochTicks uint64
+
+	// DeferredDrains and DeferredRecords describe the deferred dispatch
+	// pipeline: drain batches replayed and access records banked (both 0
+	// under inline dispatch — and the only Result fields that may differ
+	// between the two dispatch modes).
+	DeferredDrains  uint64
+	DeferredRecords uint64
 }
 
 // Run executes the assembled system to completion.
@@ -507,6 +528,16 @@ func (s *System) Run() (*Result, error) {
 	eres, err := s.Engine.Run()
 	if err != nil {
 		return nil, err
+	}
+	if s.pipe != nil {
+		// End-of-run drain point, BEFORE the cycle total is captured:
+		// records banked between the last sync event and process exit
+		// (SysExit fires no thread-exit hook) still carry analysis
+		// charges, and inline dispatch landed those before the engine
+		// stopped. eres.Cycles was snapshotted pre-drain, so the total
+		// is re-read from the shared clock below.
+		s.pipe.drain()
+		eres.Cycles = s.Clock.Cycles()
 	}
 	r := &Result{
 		Mode:                 s.Cfg.Mode,
@@ -532,6 +563,10 @@ func (s *System) Run() (*Result, error) {
 	if s.Epochs != nil {
 		r.EpochTicks = s.Epochs.Ticks
 	}
+	if s.pipe != nil {
+		r.DeferredDrains = s.pipe.drains
+		r.DeferredRecords = s.pipe.records
+	}
 	if len(s.Analyses) > 0 {
 		r.Findings = make(map[string]analysis.Findings, len(s.Analyses))
 		for _, a := range s.Analyses {
@@ -554,7 +589,7 @@ func Run(prog *isa.Program, cfg Config) (*Result, error) {
 // counters the concurrent runner's per-worker tallies sum over.
 func (r *Result) TallyCounters() (cycles, instructions, memRefs, instrumented, shared, races uint64) {
 	return r.Cycles, r.Engine.Instructions, r.Engine.MemRefs,
-		r.Engine.InstrumentedExecs, r.SD.SharedPageAccesses, uint64(len(r.Races()))
+		r.Engine.InstrumentedExecs, r.SD.SharedPageAccesses, uint64(len(fasttrack.RacesIn(r.Findings)))
 }
 
 // SharedAccessFraction is Figure 6's metric: the fraction of all memory-

@@ -139,8 +139,8 @@ func TestPrivateWorkloadNeverShares(t *testing.T) {
 	if res.SharedAccessFraction() != 0 {
 		t.Errorf("shared fraction = %v, want 0", res.SharedAccessFraction())
 	}
-	if len(res.Races()) != 0 {
-		t.Errorf("races on private data: %v", res.Races())
+	if len(racesOf(res)) != 0 {
+		t.Errorf("races on private data: %v", racesOf(res))
 	}
 	// Pages did become private (threads touched their arrays + stacks).
 	if res.SD.PagesPrivate == 0 {
@@ -187,8 +187,8 @@ func TestSharedCounterDetectedAndInstrumented(t *testing.T) {
 		t.Fatal("no aikido faults delivered")
 	}
 	// Locked counter: no races.
-	if len(res.Races()) != 0 {
-		t.Errorf("locked counter raced: %v", res.Races())
+	if len(racesOf(res)) != 0 {
+		t.Errorf("locked counter raced: %v", racesOf(res))
 	}
 	// Both detectors agree the final value is 2*iters (transparency).
 	native := mustRun(t, prog, ModeNative)
@@ -212,10 +212,10 @@ func TestRacyCounterCaughtByBothDetectors(t *testing.T) {
 	}
 	full := runFine(ModeFastTrackFull)
 	aikido := runFine(ModeAikidoFastTrack)
-	if len(full.Races()) == 0 {
+	if len(racesOf(full)) == 0 {
 		t.Fatal("full FastTrack missed the racy counter")
 	}
-	if len(aikido.Races()) == 0 {
+	if len(racesOf(aikido)) == 0 {
 		t.Fatal("Aikido-FastTrack missed the racy counter")
 	}
 	// Same racing addresses (§5.3: "both tools were detecting the same
@@ -227,7 +227,7 @@ func TestRacyCounterCaughtByBothDetectors(t *testing.T) {
 		}
 		return m
 	}
-	fa, aa := addrsOf(full.Races()), addrsOf(aikido.Races())
+	fa, aa := addrsOf(racesOf(full)), addrsOf(racesOf(aikido))
 	for a := range aa {
 		if !fa[a] {
 			t.Errorf("aikido reported race at %#x that full FT did not", a)
@@ -260,12 +260,12 @@ func TestFirstAccessFalseNegativeWindow(t *testing.T) {
 
 	full := mustRun(t, prog, ModeFastTrackFull)
 	aikido := mustRun(t, prog, ModeAikidoFastTrack)
-	if len(full.Races()) == 0 {
+	if len(racesOf(full)) == 0 {
 		t.Fatal("full FastTrack must see the racing first accesses")
 	}
 	// Aikido misses the race on the x block: the faulting accesses that
 	// drove Unused→Private and Private→Shared were not instrumented.
-	for _, r := range aikido.Races() {
+	for _, r := range racesOf(aikido) {
 		if r.Addr == x {
 			t.Errorf("aikido reported first-access race it cannot see: %v", r)
 		}
@@ -333,7 +333,7 @@ func TestAikidoProfileMode(t *testing.T) {
 	if res.SD.PagesShared == 0 {
 		t.Error("profile mode detected no sharing")
 	}
-	if res.FT().Reads+res.FT().Writes != 0 {
+	if ftOf(res).Reads+ftOf(res).Writes != 0 {
 		t.Error("profile mode ran an analysis")
 	}
 }
@@ -348,7 +348,7 @@ func TestDeterministicRuns(t *testing.T) {
 	if a.Engine.Instructions != b.Engine.Instructions {
 		t.Error("instruction counts differ across runs")
 	}
-	if len(a.Races()) != len(b.Races()) {
+	if len(racesOf(a)) != len(racesOf(b)) {
 		t.Error("race counts differ across runs")
 	}
 }

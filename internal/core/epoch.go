@@ -27,13 +27,19 @@ func newEpochClock(clock *stats.Clock, interval uint64, sweep func()) *EpochCloc
 
 // MaybeTick runs the sweep if the current epoch has elapsed. It is
 // allocation-free and cheap enough for per-access call sites (one load
-// and one compare on the common path).
+// and one compare on the common path). The deadline saturates instead of
+// wrapping when cycles approach the uint64 limit: an overflowed deadline
+// would sit below the clock forever and fire a sweep on every check.
 func (c *EpochClock) MaybeTick() {
 	cy := c.clock.Cycles()
 	if cy < c.next {
 		return
 	}
-	c.next = cy + c.interval
+	next := cy + c.interval
+	if next < cy {
+		next = ^uint64(0) // saturate: no further ticks, not a tick storm
+	}
+	c.next = next
 	c.Ticks++
 	c.sweep()
 }

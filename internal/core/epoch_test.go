@@ -7,6 +7,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/parsec"
 	"repro/internal/sharing"
+	"repro/internal/stats"
 	"repro/internal/vm"
 	"repro/internal/workload"
 )
@@ -55,8 +56,8 @@ func TestEpochParsecByteIdentical(t *testing.T) {
 		if base.Cycles != ep.Cycles {
 			t.Errorf("%s: cycles diverge: baseline %d, epoch %d", bench.Name, base.Cycles, ep.Cycles)
 		}
-		if !reflect.DeepEqual(base.Races(), ep.Races()) {
-			t.Errorf("%s: races diverge:\nbaseline: %v\nepoch:    %v", bench.Name, base.Races(), ep.Races())
+		if !reflect.DeepEqual(racesOf(base), racesOf(ep)) {
+			t.Errorf("%s: races diverge:\nbaseline: %v\nepoch:    %v", bench.Name, racesOf(base), racesOf(ep))
 		}
 		if base.Engine != ep.Engine {
 			t.Errorf("%s: engine counters diverge:\nbaseline: %+v\nepoch:    %+v", bench.Name, base.Engine, ep.Engine)
@@ -114,9 +115,9 @@ func TestEpochPhasedSpeedup(t *testing.T) {
 		if ep.SD.PagesDemotedPrivate == 0 {
 			t.Errorf("%s: no pages demoted", tc.src.SourceName())
 		}
-		if len(base.Races()) != 0 || len(ep.Races()) != 0 {
+		if len(racesOf(base)) != 0 || len(racesOf(ep)) != 0 {
 			t.Errorf("%s: race-free workload reported races (%d/%d)",
-				tc.src.SourceName(), len(base.Races()), len(ep.Races()))
+				tc.src.SourceName(), len(racesOf(base)), len(racesOf(ep)))
 		}
 	}
 
@@ -141,6 +142,124 @@ func TestEpochPhasedSpeedup(t *testing.T) {
 	}
 	if d := ep.SD.PagesDemotedPrivate + ep.SD.PagesDemotedUnused; d != 0 {
 		t.Errorf("falseshare control demoted %d pages", d)
+	}
+}
+
+// TestEpochClockBoundaries pins MaybeTick's arithmetic at the edges: the
+// deadline saturates instead of wrapping when cycles approach the uint64
+// limit (a wrapped deadline would sit below the clock forever and fire a
+// sweep on every subsequent check — a tick storm), and a huge interval
+// never ticks at all.
+func TestEpochClockBoundaries(t *testing.T) {
+	const max = ^uint64(0)
+
+	t.Run("wraparound saturates", func(t *testing.T) {
+		clock := &stats.Clock{}
+		sweeps := 0
+		c := newEpochClock(clock, max/2, func() { sweeps++ })
+		clock.Charge(max - 10) // cy >= next, and cy + interval wraps
+		c.MaybeTick()
+		if c.Ticks != 1 || sweeps != 1 {
+			t.Fatalf("first boundary: ticks=%d sweeps=%d, want 1/1", c.Ticks, sweeps)
+		}
+		if c.next != max {
+			t.Fatalf("deadline = %d, want saturation at %d", c.next, max)
+		}
+		// The storm check: further checks below the saturated deadline
+		// must not tick.
+		for i := 0; i < 5; i++ {
+			clock.Charge(1)
+			c.MaybeTick()
+		}
+		if c.Ticks != 1 || sweeps != 1 {
+			t.Errorf("post-saturation checks ticked: ticks=%d sweeps=%d, want 1/1", c.Ticks, sweeps)
+		}
+	})
+
+	t.Run("interval beyond remaining range", func(t *testing.T) {
+		clock := &stats.Clock{}
+		c := newEpochClock(clock, max-1, func() { t.Error("sweep fired before the interval elapsed") })
+		clock.Charge(1 << 40)
+		c.MaybeTick()
+		if c.Ticks != 0 {
+			t.Errorf("ticked %d times under an unelapsed %d-cycle interval", c.Ticks, max-1)
+		}
+	})
+}
+
+// TestEpochDisabledNeverTicks is the "-epoch off" half of the boundary
+// contract: with no epoch policy the system wires no clock at all — zero
+// Ticks, zero sweeps, nil ticker — on a workload that shares pages
+// heavily enough that an armed clock would certainly have fired.
+func TestEpochDisabledNeverTicks(t *testing.T) {
+	bench, err := parsec.ByName("fluidanimate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench = bench.WithScale(0.25)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSystem(prog, DefaultConfig(ModeAikidoFastTrack))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Epochs != nil {
+		t.Fatal("epoch clock assembled without an epoch policy")
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EpochTicks != 0 || res.SD.EpochSweeps != 0 {
+		t.Errorf("disabled epochs ticked: ticks=%d sweeps=%d", res.EpochTicks, res.SD.EpochSweeps)
+	}
+	// The same run with the clock armed does tick — the zero above is a
+	// property of the configuration, not of the workload.
+	cfg := DefaultConfig(ModeAikidoFastTrack)
+	cfg.Epoch = sharing.DefaultEpochPolicy()
+	armed, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed.EpochTicks == 0 {
+		t.Error("armed control never ticked: the disabled-clock check is vacuous")
+	}
+}
+
+// TestEpochFaultPathNeverTicks guards the deliberate asymmetry of the
+// tick wiring: only the instrumented PreAccess path checks the epoch
+// boundary; the fault path never does (a sweep demoting the faulting page
+// to the faulting thread mid-handling would make the delivered fault look
+// spurious). A single-thread workload keeps every page Private — all
+// sharing-detector activity is first-touch faults, no instruction is ever
+// instrumented — so even a 1-cycle interval must never tick.
+func TestEpochFaultPathNeverTicks(t *testing.T) {
+	bench, err := parsec.ByName("blackscholes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bench = bench.WithScale(0.25).WithThreads(1)
+	prog, err := workload.Build(bench.Spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(ModeAikidoFastTrack)
+	cfg.Epoch = sharing.EpochPolicy{Interval: 1, DemoteAfter: 2, QuietAfter: 6, MinOwnerHits: 4}
+	res, err := Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SD.FaultsHandled == 0 {
+		t.Fatal("no faults handled: the guard is vacuous")
+	}
+	if res.Engine.InstrumentedExecs != 0 {
+		t.Fatal("single-thread run instrumented instructions: the guard is vacuous")
+	}
+	if res.EpochTicks != 0 || res.SD.EpochSweeps != 0 {
+		t.Errorf("fault-only run ticked: ticks=%d sweeps=%d (the fault path must never tick)",
+			res.EpochTicks, res.SD.EpochSweeps)
 	}
 }
 

@@ -42,13 +42,13 @@ func TestVarStoreEquivalence(t *testing.T) {
 				t.Errorf("%s/%s: cycles diverge: paged %d, reference %d",
 					bench.Name, mode, paged.Cycles, ref.Cycles)
 			}
-			if !reflect.DeepEqual(paged.Races(), ref.Races()) {
+			if !reflect.DeepEqual(racesOf(paged), racesOf(ref)) {
 				t.Errorf("%s/%s: races diverge:\npaged:     %v\nreference: %v",
-					bench.Name, mode, paged.Races(), ref.Races())
+					bench.Name, mode, racesOf(paged), racesOf(ref))
 			}
-			if paged.FT() != ref.FT() {
+			if ftOf(paged) != ftOf(ref) {
 				t.Errorf("%s/%s: FastTrack counters diverge:\npaged:     %+v\nreference: %+v",
-					bench.Name, mode, paged.FT(), ref.FT())
+					bench.Name, mode, ftOf(paged), ftOf(ref))
 			}
 			if paged.Engine != ref.Engine {
 				t.Errorf("%s/%s: engine counters diverge:\npaged:     %+v\nreference: %+v",

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
 	"repro/internal/workload"
 )
@@ -39,7 +40,7 @@ func ExampleRun() {
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("only shared accesses analyzed:",
 		res.Engine.InstrumentedExecs > 0 && res.Engine.InstrumentedExecs < res.Engine.MemRefs)
-	fmt.Println("race caught:", len(res.Races()) > 0)
+	fmt.Println("race caught:", len(fasttrack.RacesIn(res.Findings)) > 0)
 	// Output:
 	// mode: Aikido-FastTrack
 	// only shared accesses analyzed: true
@@ -56,7 +57,7 @@ func ExampleRun_native() {
 	}
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("instrumented:", res.Engine.InstrumentedExecs)
-	fmt.Println("races:", len(res.Races()))
+	fmt.Println("races:", len(fasttrack.RacesIn(res.Findings)))
 	// Output:
 	// mode: native
 	// instrumented: 0
@@ -94,8 +95,8 @@ func ExampleRun_fastTrackFull() {
 		panic(err)
 	}
 	fmt.Println("mode:", res.Mode)
-	fmt.Println("every access analyzed:", res.FT().Reads+res.FT().Writes == res.Engine.MemRefs)
-	fmt.Println("race caught:", len(res.Races()) > 0)
+	fmt.Println("every access analyzed:", fasttrack.CountersIn(res.Findings).Reads+fasttrack.CountersIn(res.Findings).Writes == res.Engine.MemRefs)
+	fmt.Println("race caught:", len(fasttrack.RacesIn(res.Findings)) > 0)
 	// Output:
 	// mode: FastTrack
 	// every access analyzed: true
@@ -113,7 +114,7 @@ func ExampleRun_aikidoProfile() {
 	}
 	fmt.Println("mode:", res.Mode)
 	fmt.Println("sharing observed:", res.SD.PagesShared > 0 && res.SD.SharedPageAccesses > 0)
-	fmt.Println("races:", len(res.Races()))
+	fmt.Println("races:", len(fasttrack.RacesIn(res.Findings)))
 	// Output:
 	// mode: Aikido-profile
 	// sharing observed: true

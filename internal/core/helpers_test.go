@@ -1,0 +1,49 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/atomicity"
+	"repro/internal/fasttrack"
+	"repro/internal/lockset"
+	"repro/internal/sampler"
+)
+
+// Test-local typed accessors over Result.Findings — the migration target
+// of the removed deprecated per-detector Result accessors. Each scans the
+// name-keyed findings map and recovers the producing package's typed view
+// (through analysis.Unwrap, so sampled runs resolve too).
+
+func racesOf(r *Result) []fasttrack.Race { return fasttrack.RacesIn(r.Findings) }
+
+func ftOf(r *Result) fasttrack.Counters { return fasttrack.CountersIn(r.Findings) }
+
+func warningsOf(r *Result) []lockset.Warning { return lockset.WarningsIn(r.Findings) }
+
+func lsOf(r *Result) lockset.Counters { return lockset.CountersIn(r.Findings) }
+
+func violationsOf(r *Result) []atomicity.Violation {
+	for _, name := range r.AnalysisNames() {
+		if at, ok := analysis.Unwrap(r.Findings[name]).(*atomicity.Findings); ok {
+			return at.Violations
+		}
+	}
+	return nil
+}
+
+func atomOf(r *Result) atomicity.Counters {
+	for _, name := range r.AnalysisNames() {
+		if at, ok := analysis.Unwrap(r.Findings[name]).(*atomicity.Findings); ok {
+			return at.Counters
+		}
+	}
+	return atomicity.Counters{}
+}
+
+func samplingOf(r *Result) sampler.Counters {
+	for _, name := range r.AnalysisNames() {
+		if sf, ok := r.Findings[name].(*sampler.Findings); ok {
+			return sf.Counters
+		}
+	}
+	return sampler.Counters{}
+}

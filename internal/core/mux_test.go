@@ -177,10 +177,13 @@ func TestEmptyAnalysesRunsNone(t *testing.T) {
 	}
 }
 
-// TestMaxFindingsAppliesToEveryAnalysis is the satellite fix: the cap is
-// uniform, not FastTrack-only (selecting LockSet used to make it a silent
-// no-op).
-func TestMaxFindingsAppliesToEveryAnalysis(t *testing.T) {
+// TestMaxFindingsIsPerRun pins the uniform per-run cap semantics:
+// Config.MaxFindings budgets the WHOLE run, divided across the selected
+// analyses in configuration order. It used to forward the full cap to
+// every mux member, so "-analysis a,b" with cap N silently stored up to
+// members×N findings (and before the registry, the cap was FastTrack-only
+// — a silent no-op for LockSet).
+func TestMaxFindingsIsPerRun(t *testing.T) {
 	// A program with many distinct unlocked shared variables, so both
 	// detectors would exceed a cap of 1.
 	b := isa.NewBuilder("manyraces")
@@ -206,10 +209,14 @@ func TestMaxFindingsAppliesToEveryAnalysis(t *testing.T) {
 	b.Halt()
 	prog := b.MustFinish()
 
+	// Both analyses find many distinct issues, so every stored finding
+	// below is cap-limited, not supply-limited.
 	cfg := DefaultConfig(ModeFastTrackFull)
 	cfg.Analyses = []string{"fasttrack", "lockset"}
-	cfg.MaxFindings = 1
 	cfg.Engine.Quantum = 50
+
+	// An even budget splits exactly: 1 finding per member, 2 in total.
+	cfg.MaxFindings = 2
 	res, err := Run(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -220,19 +227,44 @@ func TestMaxFindingsAppliesToEveryAnalysis(t *testing.T) {
 			t.Fatalf("%s did not run", name)
 		}
 		if f.Len() != 1 {
-			t.Errorf("%s stored %d findings, want exactly the cap (1)", name, f.Len())
+			t.Errorf("%s stored %d findings, want its share of the run budget (1)", name, f.Len())
 		}
 	}
+	if got := res.TotalFindings(); got != 2 {
+		t.Errorf("run stored %d findings under cap 2, want exactly 2", got)
+	}
 
-	// The deprecated MaxRaces spelling still caps (as a fallback).
-	cfg.MaxFindings = 0
-	cfg.MaxRaces = 1
-	res2, err := Run(prog, cfg)
+	// The regression shape: a budget below the member count must NOT
+	// inflate to one-per-member. Earlier members take the remainder;
+	// later ones store nothing (their findings are still counted).
+	cfg.MaxFindings = 1
+	res, err = Run(prog, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := res2.AnalysisFindings("lockset").Len(); got != 1 {
-		t.Errorf("deprecated MaxRaces did not cap lockset findings (got %d)", got)
+	if got := res.TotalFindings(); got != 1 {
+		t.Errorf("run stored %d findings under cap 1, want exactly 1 (the pre-fix behaviour stored members×cap)", got)
+	}
+	if got := res.AnalysisFindings("fasttrack").Len(); got != 1 {
+		t.Errorf("fasttrack (first member) stored %d findings, want the whole budget (1)", got)
+	}
+	if got := res.AnalysisFindings("lockset").Len(); got != 0 {
+		t.Errorf("lockset (zero allotment) stored %d findings, want 0", got)
+	}
+	if lsOf(res).Reads == 0 {
+		t.Error("zero allotment stopped LockSet from analyzing (it must count, not store)")
+	}
+
+	// A single-analysis run keeps the whole budget — the cap behaves
+	// exactly as before the division for the common configuration.
+	cfg.Analyses = []string{"lockset"}
+	cfg.MaxFindings = 1
+	res, err = Run(prog, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.AnalysisFindings("lockset").Len(); got != 1 {
+		t.Errorf("single-analysis run stored %d findings under cap 1, want 1", got)
 	}
 }
 
@@ -248,11 +280,11 @@ func TestSamplerWrapsAnyAnalysis(t *testing.T) {
 	}
 	// The sampler fed the inner LockSet a subset of the access stream;
 	// the deprecated accessors see through the wrapper.
-	if res.LS().Reads+res.LS().Writes == 0 {
+	if lsOf(res).Reads+lsOf(res).Writes == 0 {
 		t.Error("wrapped LockSet analyzed nothing")
 	}
 	full := runNamed(t, prog, ModeFastTrackFull, []string{"lockset"})
-	if got, want := res.LS().Reads+res.LS().Writes, full.LS().Reads+full.LS().Writes; got >= want {
+	if got, want := lsOf(res).Reads+lsOf(res).Writes, lsOf(full).Reads+lsOf(full).Writes; got >= want {
 		t.Errorf("sampled LockSet analyzed %d accesses, full %d — sampling never skipped", got, want)
 	}
 	// And "sampled" alone defaults to wrapping FastTrack.

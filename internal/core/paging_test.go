@@ -43,12 +43,12 @@ func TestPagingModesAgree(t *testing.T) {
 	if shadow.SD != nested.SD {
 		t.Errorf("sharing counters diverge:\nshadow: %+v\nnested: %+v", shadow.SD, nested.SD)
 	}
-	if len(shadow.Races()) != len(nested.Races()) {
+	if len(racesOf(shadow)) != len(racesOf(nested)) {
 		t.Errorf("race counts diverge: shadow %d, nested %d",
-			len(shadow.Races()), len(nested.Races()))
+			len(racesOf(shadow)), len(racesOf(nested)))
 	}
-	if shadow.FT() != nested.FT() {
-		t.Errorf("FastTrack work diverges:\nshadow: %+v\nnested: %+v", shadow.FT(), nested.FT())
+	if ftOf(shadow) != ftOf(nested) {
+		t.Errorf("FastTrack work diverges:\nshadow: %+v\nnested: %+v", ftOf(shadow), ftOf(nested))
 	}
 	if shadow.Engine.MemRefs != nested.Engine.MemRefs {
 		t.Errorf("retired memory refs diverge: %d vs %d",
@@ -111,7 +111,7 @@ func TestSwitchInterceptionInvariant(t *testing.T) {
 			base = r
 			continue
 		}
-		if r.SD != base.SD || len(r.Races()) != len(base.Races()) {
+		if r.SD != base.SD || len(racesOf(r)) != len(racesOf(base)) {
 			t.Errorf("switch mechanism %v changes analysis results", sw)
 		}
 	}

@@ -35,10 +35,10 @@ func TestProvidersAgree(t *testing.T) {
 		if tc.r.SD != vm.SD {
 			t.Errorf("%s sharing counters diverge:\n%+v\nvs aikidovm:\n%+v", tc.name, tc.r.SD, vm.SD)
 		}
-		if len(tc.r.Races()) != len(vm.Races()) {
-			t.Errorf("%s races = %d, aikidovm = %d", tc.name, len(tc.r.Races()), len(vm.Races()))
+		if len(racesOf(tc.r)) != len(racesOf(vm)) {
+			t.Errorf("%s races = %d, aikidovm = %d", tc.name, len(racesOf(tc.r)), len(racesOf(vm)))
 		}
-		if tc.r.FT() != vm.FT() {
+		if ftOf(tc.r) != ftOf(vm) {
 			t.Errorf("%s FastTrack work diverges", tc.name)
 		}
 		if tc.r.Console != vm.Console || tc.r.ExitCode != vm.ExitCode {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestDeferredAmortization pins the deferred pipeline's headline property
+// on every model: under the transition-cost model, batched ring drains
+// beat per-access clean calls on analysis-heavy cells — without changing
+// a single finding or work counter.
+func TestDeferredAmortization(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.Deterministic = true
+	rows, err := DeferredAmortization(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.CycleSpeedup <= 1 {
+			t.Errorf("%s: batching did not amortize (speedup %.2fx)", r.Name, r.CycleSpeedup)
+		}
+		if !r.FindingsIdentical {
+			t.Errorf("%s: deferred findings diverge from inline", r.Name)
+		}
+		if r.Drains == 0 || r.Records == 0 {
+			t.Errorf("%s: pipeline inactive (drains=%d records=%d)", r.Name, r.Drains, r.Records)
+		}
+		if r.RecordsPerDrain <= 1 {
+			t.Errorf("%s: realized batch size %.2f — nothing amortized", r.Name, r.RecordsPerDrain)
+		}
+		if r.InlineWallNS != 0 || r.DeferredWallNS != 0 {
+			t.Errorf("%s: deterministic report carries wall-clock", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteDeferredAmortization(&buf, rows)
+	if !strings.Contains(buf.String(), "geomean cycle speedup") {
+		t.Error("rendering incomplete")
+	}
+
+	rep, err := DeferredJSON(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "aikido-deferred-bench/v1" || rep.Geomean <= 1 || !rep.FindingsIdentical {
+		t.Errorf("report schema/geomean/findings: %q %.2f %v",
+			rep.Schema, rep.Geomean, rep.FindingsIdentical)
+	}
+	if rep.Costs.AnalysisDispatch == 0 {
+		t.Error("report does not record the transition-cost model it ran under")
+	}
+	buf.Reset()
+	if err := WriteDeferredJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round DeferredReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+}
+
+// TestBenchJSONDispatchByteIdentical is the CI 4th-equivalence-leg
+// contract in unit form: under the default cost model, the deterministic
+// bench report produced with deferred dispatch is byte-identical to the
+// inline baseline.
+func TestBenchJSONDispatchByteIdentical(t *testing.T) {
+	base := DefaultOptions()
+	base.Scale = 0.25
+	base.Deterministic = true
+	render := func(o Options) string {
+		t.Helper()
+		rep, err := BenchJSON(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBenchJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	inline := render(base)
+	deferredOpts := base
+	deferredOpts.Dispatch = core.DispatchDeferred
+	if deferred := render(deferredOpts); deferred != inline {
+		t.Error("deferred-dispatch bench report diverges from the inline baseline")
+	}
+}

@@ -95,7 +95,7 @@ func (o Options) epochPolicy() sharing.EpochPolicy { return sharing.DefaultEpoch
 func Epochs(o Options) ([]EpochRow, error) {
 	o = o.normalize()
 	suite := epochSuite(o)
-	base := core.DefaultConfig(core.ModeAikidoFastTrack)
+	base := o.analysisCell(core.ModeAikidoFastTrack)
 	base.Analyses = o.Analyses
 	epoch := base
 	epoch.Epoch = o.epochPolicy()
@@ -126,7 +126,7 @@ func Epochs(o Options) ([]EpochRow, error) {
 			BaselineSharedAccesses: b.SD.SharedPageAccesses,
 			EpochSharedAccesses:    e.SD.SharedPageAccesses,
 			FindingsIdentical:      findingsIdentical(b, e),
-			Races:                  len(e.Races()),
+			Races:                  len(races(e)),
 			BaselineWallNS:         cells[2*i].Wall.Nanoseconds(),
 			EpochWallNS:            cells[2*i+1].Wall.Nanoseconds(),
 		}

@@ -54,6 +54,14 @@ type Options struct {
 	// exactly that. The epochs experiment measures the win on the
 	// phased/migratory suite regardless of this flag.
 	Epoch bool
+	// Dispatch selects the analysis dispatch mode for every
+	// analysis-bearing cell: inline (the default) or deferred per-thread
+	// rings with batched drains. Under the default cost model the two are
+	// byte-identical — CI's 4th equivalence leg diffs a -dispatch
+	// deferred report against the inline baseline to pin exactly that.
+	// The deferred experiment measures the batching win under the
+	// transition-cost model regardless of this flag.
+	Dispatch core.DispatchMode
 }
 
 // DefaultOptions is the full-size harness configuration.
@@ -85,6 +93,12 @@ func (o Options) sweep(specs []runner.Spec) ([]runner.Measurement, error) {
 	return rep.Cells, nil
 }
 
+// races extracts a run's FastTrack races from its findings map (the
+// deprecated Result.Races accessor's replacement — see fasttrack.RacesIn).
+func races(r *core.Result) []fasttrack.Race {
+	return fasttrack.RacesIn(r.Findings)
+}
+
 // cell is one matrix entry: benchmark b under cfg.
 func cell(b parsec.Benchmark, label string, cfg core.Config) runner.Spec {
 	return runner.Spec{Label: b.Name + "/" + label, Workload: b.Spec, Config: cfg}
@@ -111,6 +125,7 @@ func (o Options) modeCells(b parsec.Benchmark) []runner.Spec {
 		cfg := core.DefaultConfig(m.mode)
 		if m.mode != core.ModeNative {
 			cfg.Analyses = o.Analyses
+			cfg.Dispatch = o.Dispatch
 		}
 		if o.Epoch && m.mode == core.ModeAikidoFastTrack {
 			cfg.Epoch = o.epochPolicy()
@@ -118,6 +133,14 @@ func (o Options) modeCells(b parsec.Benchmark) []runner.Spec {
 		specs[i] = cell(b, m.label, cfg)
 	}
 	return specs
+}
+
+// analysisCell builds one analysis-bearing cell config under the options'
+// dispatch mode (the experiments that sweep a single mode use it).
+func (o Options) analysisCell(mode core.Mode) core.Config {
+	cfg := core.DefaultConfig(mode)
+	cfg.Dispatch = o.Dispatch
+	return cfg
 }
 
 // --- Figure 5 --------------------------------------------------------------
@@ -154,8 +177,8 @@ func Figure5(o Options) ([]Fig5Row, error) {
 			Name:        b.Name,
 			FastTrack:   ft.Slowdown(native),
 			Aikido:      aft.Slowdown(native),
-			RacesFT:     len(ft.Races()),
-			RacesAikido: len(aft.Races()),
+			RacesFT:     len(races(ft)),
+			RacesAikido: len(races(aft)),
 		}
 		r.Speedup = r.FastTrack / r.Aikido
 		rows = append(rows, r)
@@ -197,7 +220,7 @@ func Figure6(o Options) ([]Fig6Row, error) {
 	benches := parsec.All()
 	var specs []runner.Spec
 	for _, b := range benches {
-		specs = append(specs, cell(o.apply(b), "Aikido", core.DefaultConfig(core.ModeAikidoFastTrack)))
+		specs = append(specs, cell(o.apply(b), "Aikido", o.analysisCell(core.ModeAikidoFastTrack)))
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
@@ -310,7 +333,7 @@ func Table2(o Options) ([]Table2Row, float64, error) {
 	benches := parsec.All()
 	var specs []runner.Spec
 	for _, b := range benches {
-		specs = append(specs, cell(o.apply(b), "Aikido", core.DefaultConfig(core.ModeAikidoFastTrack)))
+		specs = append(specs, cell(o.apply(b), "Aikido", o.analysisCell(core.ModeAikidoFastTrack)))
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
@@ -475,11 +498,11 @@ func ExtensionDetectors(o Options) ([]DetectorRow, error) {
 	}
 	bb := o.apply(b)
 
-	muxCfg := core.DefaultConfig(core.ModeAikidoFastTrack).WithAnalyses(muxedDetectors...)
+	muxCfg := o.analysisCell(core.ModeAikidoFastTrack).WithAnalyses(muxedDetectors...)
 	specs := []runner.Spec{
 		cell(bb, "native", core.DefaultConfig(core.ModeNative)),
-		cell(bb, "fasttrack-full", core.DefaultConfig(core.ModeFastTrackFull)),
-		cell(bb, "sampled-fasttrack", core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses("sampled")),
+		cell(bb, "fasttrack-full", o.analysisCell(core.ModeFastTrackFull)),
+		cell(bb, "sampled-fasttrack", o.analysisCell(core.ModeFastTrackFull).WithAnalyses("sampled")),
 		cell(bb, "aikido-mux", muxCfg),
 	}
 	cells, err := o.sweep(specs)

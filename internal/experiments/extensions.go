@@ -68,7 +68,7 @@ func AblationPaging(o Options) ([]PagingRow, error) {
 				Slow:    res.Slowdown(native),
 				PTTraps: res.HV.GuestPTUpdates,
 				Fills:   res.HV.ShadowFills,
-				Races:   len(res.Races()),
+				Races:   len(races(res)),
 			})
 		}
 	}
@@ -203,7 +203,7 @@ func AblationProviders(o Options) ([]ProviderRow, error) {
 				UnmodifiedTC: tr.UnmodifiedToolchain,
 				ProtOps:      res.Prov.ProtOps + res.Prov.RangeOps,
 				KernelByp:    res.Prov.KernelBypasses,
-				Races:        len(res.Races()),
+				Races:        len(races(res)),
 			})
 		}
 	}
@@ -271,7 +271,7 @@ func ExtensionNondeterminator(o Options) ([]NondetRow, error) {
 		rows = append(rows, NondetRow{
 			Program:        c.label,
 			SPBagsRaces:    len(rep.Races),
-			FastTrackRaces: len(ft.Races()),
+			FastTrackRaces: len(races(ft)),
 			Note:           c.note,
 		})
 	}

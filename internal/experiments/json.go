@@ -73,7 +73,7 @@ func BenchJSON(o Options) (*BenchReport, error) {
 				Cycles:    m.Res.Cycles,
 				SlowdownX: slow,
 				SharedPct: 100 * m.Res.SharedAccessFraction(),
-				Races:     len(m.Res.Races()),
+				Races:     len(races(m.Res)),
 			})
 			if label == "FastTrack" {
 				ftS = append(ftS, slow)

@@ -48,10 +48,10 @@ func MuxAmortization(o Options) ([]MuxRow, error) {
 		bb := o.apply(b)
 		for _, name := range muxAmortizationSet {
 			specs = append(specs, cell(bb, name,
-				core.DefaultConfig(core.ModeAikidoFastTrack).WithAnalyses(name)))
+				o.analysisCell(core.ModeAikidoFastTrack).WithAnalyses(name)))
 		}
 		specs = append(specs, cell(bb, "mux",
-			core.DefaultConfig(core.ModeAikidoFastTrack).WithAnalyses(muxAmortizationSet...)))
+			o.analysisCell(core.ModeAikidoFastTrack).WithAnalyses(muxAmortizationSet...)))
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {

@@ -25,10 +25,12 @@ func (d *Detector) Name() string { return Kind }
 func (d *Detector) OnExit(tid guest.TID) {}
 
 // SetMaxFindings implements analysis.Analysis, capping stored races
-// (0 restores the default).
+// (0 restores the default; negative stores none — count only).
 func (d *Detector) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxRaces
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	d.MaxRaces = n
 }
@@ -36,6 +38,46 @@ func (d *Detector) SetMaxFindings(n int) {
 // Report implements analysis.Analysis.
 func (d *Detector) Report() analysis.Findings {
 	return &Findings{Counters: d.C, Races: d.Races(), Dropped: d.Dropped}
+}
+
+// RacesIn extracts the FastTrack races from a name-keyed findings map
+// (core.Result.Findings), whether the detector ran bare or under a
+// wrapper (sampled:fasttrack). Maps with several FastTrack-typed entries
+// (never produced by core, whose members are name-unique) yield the one
+// under the smallest name. It replaces the deprecated Result.Races
+// accessor: callers consume Result.Findings and ask the producing package
+// for its typed view.
+func RacesIn(fs map[string]analysis.Findings) []Race {
+	if f := findingsIn(fs); f != nil {
+		return f.Races
+	}
+	return nil
+}
+
+// CountersIn extracts the FastTrack work counters from a name-keyed
+// findings map (the deprecated Result.FT accessor's replacement).
+func CountersIn(fs map[string]analysis.Findings) Counters {
+	if f := findingsIn(fs); f != nil {
+		return f.Counters
+	}
+	return Counters{}
+}
+
+// findingsIn locates the FastTrack findings in a name-keyed map,
+// deterministically (smallest producing name wins).
+func findingsIn(fs map[string]analysis.Findings) *Findings {
+	var best string
+	var found *Findings
+	for name, f := range fs {
+		ft, ok := analysis.Unwrap(f).(*Findings)
+		if !ok {
+			continue
+		}
+		if found == nil || name < best {
+			best, found = name, ft
+		}
+	}
+	return found
 }
 
 // Findings is the detector's analysis.Findings: the recorded races plus

@@ -28,8 +28,10 @@ func (d *Detector) OnExit(tid guest.TID) {}
 // (0 restores the default). Before the uniform findings cap existed, the
 // system-level cap silently applied only to FastTrack.
 func (d *Detector) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxWarnings
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	d.MaxWarnings = n
 }
@@ -37,6 +39,42 @@ func (d *Detector) SetMaxFindings(n int) {
 // Report implements analysis.Analysis.
 func (d *Detector) Report() analysis.Findings {
 	return &Findings{Counters: d.C, Warnings: d.Warnings()}
+}
+
+// WarningsIn extracts the LockSet warnings from a name-keyed findings map
+// (core.Result.Findings), whether the detector ran bare or wrapped. It
+// replaces the deprecated Result.Warnings accessor.
+func WarningsIn(fs map[string]analysis.Findings) []Warning {
+	if f := findingsIn(fs); f != nil {
+		return f.Warnings
+	}
+	return nil
+}
+
+// CountersIn extracts the LockSet work counters from a name-keyed
+// findings map (the deprecated Result.LS accessor's replacement).
+func CountersIn(fs map[string]analysis.Findings) Counters {
+	if f := findingsIn(fs); f != nil {
+		return f.Counters
+	}
+	return Counters{}
+}
+
+// findingsIn locates the LockSet findings in a name-keyed map,
+// deterministically (smallest producing name wins).
+func findingsIn(fs map[string]analysis.Findings) *Findings {
+	var best string
+	var found *Findings
+	for name, f := range fs {
+		ls, ok := analysis.Unwrap(f).(*Findings)
+		if !ok {
+			continue
+		}
+		if found == nil || name < best {
+			best, found = name, ls
+		}
+	}
+	return found
 }
 
 // Findings is the detector's analysis.Findings: locking-discipline

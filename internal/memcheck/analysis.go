@@ -41,8 +41,10 @@ func (c *Checker) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uin
 // SetMaxFindings implements analysis.Analysis, capping stored reports
 // (0 restores the default).
 func (c *Checker) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxReports
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	c.MaxReports = n
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/workload"
 )
 
@@ -128,10 +129,10 @@ func TestCannealRaceFoundByBothDetectors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(full.Races()) == 0 {
+	if len(fasttrack.RacesIn(full.Findings)) == 0 {
 		t.Error("full FastTrack found no canneal race")
 	}
-	if len(aikido.Races()) == 0 {
+	if len(fasttrack.RacesIn(aikido.Findings)) == 0 {
 		t.Error("Aikido-FastTrack found no canneal race")
 	}
 }
@@ -152,8 +153,8 @@ func TestLockedBenchmarksHaveNoSpuriousRaces(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", b.Name, err)
 		}
-		if len(res.Races()) != 0 {
-			t.Errorf("%s: unexpected races: %v", b.Name, res.Races()[0])
+		if len(fasttrack.RacesIn(res.Findings)) != 0 {
+			t.Errorf("%s: unexpected races: %v", b.Name, fasttrack.RacesIn(res.Findings)[0])
 		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/parsec"
 	"repro/internal/runner"
 )
@@ -34,7 +35,7 @@ func ExampleSweep() {
 	native := rep.Cells[0].Res
 	for _, c := range rep.Cells[1:] {
 		fmt.Printf("%s: %.2fx vs native, %d races\n",
-			c.Spec.Label, c.Res.Slowdown(native), len(c.Res.Races()))
+			c.Spec.Label, c.Res.Slowdown(native), len(fasttrack.RacesIn(c.Res.Findings)))
 	}
 	fmt.Println("cells swept:", rep.Totals.Runs)
 	// Output:

@@ -217,6 +217,11 @@ type Findings struct {
 // Analysis implements analysis.Findings.
 func (f *Findings) Analysis() string { return f.Name }
 
+// InnerFindings implements analysis.WrappedFindings, so consumers can
+// reach the wrapped analysis's typed findings through analysis.Unwrap
+// without importing this package.
+func (f *Findings) InnerFindings() analysis.Findings { return f.Inner }
+
 // Len implements analysis.Findings.
 func (f *Findings) Len() int { return f.Inner.Len() }
 

@@ -16,6 +16,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
 	"repro/internal/sharing"
 	"repro/internal/vm"
@@ -85,7 +86,7 @@ func buildRacePattern(p racePattern) *isa.Program {
 // raceAddrs reduces a result to the set of racy block addresses.
 func raceAddrs(res *core.Result) map[uint64]bool {
 	out := make(map[uint64]bool)
-	for _, r := range res.Races() {
+	for _, r := range fasttrack.RacesIn(res.Findings) {
 		out[r.Addr] = true
 	}
 	return out
@@ -208,7 +209,7 @@ func TestEpochHandoffRefaults(t *testing.T) {
 	if res.SD.SpuriousFaults != 0 {
 		t.Errorf("spurious faults: %d", res.SD.SpuriousFaults)
 	}
-	if n := len(res.Races()); n != 0 {
+	if n := len(fasttrack.RacesIn(res.Findings)); n != 0 {
 		t.Errorf("barrier-ordered ping-pong reported %d races", n)
 	}
 

@@ -53,8 +53,10 @@ func (d *Detector) AddThread(delta int) {}
 // SetMaxFindings implements analysis.Analysis, capping stored races
 // (0 restores the default).
 func (d *Detector) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxRaces
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	d.MaxRaces = n
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 	"repro/internal/isa"
 	"repro/internal/spbags"
 	"repro/internal/workload"
@@ -75,8 +76,8 @@ func TestDeterminacyVsDataRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ftRes.Races()) != 0 {
-		t.Errorf("FastTrack reported %d data races on the lock-protected counter", len(ftRes.Races()))
+	if len(fasttrack.RacesIn(ftRes.Findings)) != 0 {
+		t.Errorf("FastTrack reported %d data races on the lock-protected counter", len(fasttrack.RacesIn(ftRes.Findings)))
 	}
 }
 
@@ -92,7 +93,7 @@ func TestFastTrackAgreesOnUnlockedRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ftRes.Races()) == 0 {
+	if len(fasttrack.RacesIn(ftRes.Findings)) == 0 {
 		t.Error("FastTrack missed the unlocked counter race")
 	}
 }

@@ -120,6 +120,26 @@ type CostModel struct {
 	// of the re-JITed block. Charged only by the Aikido path; the
 	// full-instrumentation baseline pays ShadowTranslate inline instead.
 	InstrumentedExec uint64
+
+	// AnalysisDispatch models the per-event transition into the analysis
+	// runtime under inline dispatch — the DBI clean-call economics (§2.1):
+	// spilling application registers, switching to the analysis context,
+	// and the i-cache/d-cache pollution of bouncing between translated
+	// code and analysis code on every access. Charged per access per
+	// hosted analysis. The default model keeps it 0 (its effect is folded
+	// into the Analysis* terms, and every committed BENCH snapshot was
+	// calibrated without it); DispatchCosts turns it on to measure what
+	// deferred batching amortizes.
+	AnalysisDispatch uint64
+	// BatchDrainBase is the per-analysis cost of entering the analysis
+	// runtime once per drained batch under deferred dispatch, and
+	// BatchPerRecord the hand-off inside the drain loop, charged per
+	// record per analysis (each analysis's batch loop walks the records) —
+	// together the amortized counterpart of AnalysisDispatch (one
+	// transition per batch, then a tight loop with warm caches). Both
+	// default to 0 for the same calibration reason.
+	BatchDrainBase uint64
+	BatchPerRecord uint64
 }
 
 // DefaultCosts returns the calibrated default cost model.
@@ -157,6 +177,26 @@ func DefaultCosts() CostModel {
 		MirrorContention:    5,
 		InstrumentedExec:    40,
 	}
+}
+
+// DispatchCosts returns the default model with the analysis-dispatch
+// transition terms enabled: the cost model the DeferredAmortization
+// experiment (BENCH_5.json) measures under. Inline dispatch pays one
+// AnalysisDispatch transition per access per hosted analysis; deferred
+// dispatch pays one BatchDrainBase per analysis per drain plus a
+// BatchPerRecord hand-off per record — the batching amortization. The
+// magnitudes follow the DBI clean-call literature: a full-context clean
+// call costs on the order of a hundred cycles, while an element of an
+// unrolled processing loop costs a few.
+func DispatchCosts() CostModel {
+	c := DefaultCosts()
+	c.AnalysisDispatch = 150
+	// Entering a drain loop costs the same one clean call the inline path
+	// pays per access — the batching win is that the remaining records
+	// ride a register-resident loop at a few cycles each.
+	c.BatchDrainBase = 120
+	c.BatchPerRecord = 8
+	return c
 }
 
 // Clock accumulates simulated cycles. All components of one System share a

@@ -98,10 +98,12 @@ func (t *Tracker) OnBarrierRelease(tid guest.TID, id int64) {}
 func (t *Tracker) AddThread(delta int) {}
 
 // SetMaxFindings implements analysis.Analysis, capping stored flows
-// (0 restores the default).
+// (0 restores the default; negative stores none — count only).
 func (t *Tracker) SetMaxFindings(n int) {
-	if n <= 0 {
+	if n == 0 {
 		n = defaultMaxFlows
+	} else if n < 0 {
+		n = 0 // explicit zero allotment: store nothing, count only
 	}
 	t.MaxFlows = n
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/fasttrack"
 )
 
 func small(threads int) Spec {
@@ -58,8 +59,8 @@ func TestLockedSharedOpsDoNotRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races()) != 0 {
-		t.Errorf("locked workload raced: %v", res.Races()[:minI(3, len(res.Races()))])
+	if len(fasttrack.RacesIn(res.Findings)) != 0 {
+		t.Errorf("locked workload raced: %v", fasttrack.RacesIn(res.Findings)[:minI(3, len(fasttrack.RacesIn(res.Findings)))])
 	}
 }
 
@@ -82,7 +83,7 @@ func TestRacyOpsRace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races()) == 0 {
+	if len(fasttrack.RacesIn(res.Findings)) == 0 {
 		t.Error("racy ops produced no races under full FastTrack")
 	}
 }
@@ -150,8 +151,8 @@ func TestBarrierWorkloadCompletes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Races()) != 0 {
-		t.Errorf("barrier workload raced: %v", res.Races()[:minI(3, len(res.Races()))])
+	if len(fasttrack.RacesIn(res.Findings)) != 0 {
+		t.Errorf("barrier workload raced: %v", fasttrack.RacesIn(res.Findings)[:minI(3, len(fasttrack.RacesIn(res.Findings)))])
 	}
 }
 
