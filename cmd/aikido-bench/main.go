@@ -13,6 +13,7 @@
 //	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
 //	             [-epoch] [-dispatch inline|deferred]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
+//	aikido-bench -experiment chaos [-chaos PLAN] [-scale F] [-workers N]
 //	aikido-bench -compare OLD.json,NEW.json [-max-regress-pct P]
 //
 // -analysis selects the analyses every analysis-bearing cell runs (registry
@@ -54,6 +55,17 @@
 // BENCH_5.json source) measures the batching win under the explicit
 // transition-cost model (stats.DispatchCosts).
 //
+// -experiment chaos is the fault-isolation acceptance harness and is NOT
+// part of "all": it runs the chaos matrix (every Figure-5 model×mode cell
+// plus the epoch suite's demoting workloads) under the deterministic
+// fault-injection plan given with -chaos ("[seed=N;]KIND:SEAM[@COUNT];…",
+// see internal/faultinject), and exits nonzero if any containment
+// contract breaks — an injected fault escaping as a process crash, a
+// failure that is not a typed error, a report that differs between
+// -workers N and -workers 1, or (with an empty plan) any byte of
+// divergence from the chaos-free matrix. CI runs three seeded plans and
+// asserts exit 0.
+//
 // -compare OLD,NEW is the CI bench-regression gate: both files must be
 // BENCH-style snapshots of the same schema and scale, and the command
 // exits nonzero when NEW's geomean cycle speedup is more than
@@ -84,6 +96,7 @@ func main() {
 	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline or deferred (CI diffs deferred against the inline baseline)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
+	chaosPlan := flag.String("chaos", "", "with -experiment chaos: the fault-injection plan [seed=N;]KIND:SEAM[@COUNT];... (empty = idle-overhead identity check)")
 	compare := flag.String("compare", "", "OLD.json,NEW.json: compare two BENCH snapshots of one schema and fail on regression (CI gate)")
 	maxRegress := flag.Float64("max-regress-pct", 5, "with -compare, the allowed geomean-cycle-speedup regression in percent")
 	flag.Parse()
@@ -114,6 +127,22 @@ func main() {
 		Deterministic: *det, Analyses: analysis.ParseList(*analyses), Epoch: *epoch,
 		Dispatch: dm}
 	w := os.Stdout
+
+	// The chaos harness replaces the text experiments entirely (and is
+	// excluded from -experiment all): it sweeps its own matrix twice for
+	// the determinism check and asserts its containment contracts,
+	// exiting nonzero — after rendering the report — when any fails.
+	if *exp == "chaos" {
+		rep, err := experiments.ChaosSweep(o, *chaosPlan)
+		if rep != nil {
+			experiments.WriteChaos(w, rep)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "aikido-bench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	openOut := func(path string) *os.File {
 		if path == "-" {

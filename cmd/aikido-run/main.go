@@ -11,6 +11,7 @@
 //	           [-switch hypercall|segtrap|probe]
 //	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
 //	           [-list-analyses]
+//	           [-chaos PLAN] [-max-cycles N] [-cell-deadline D] [-keep-going]
 //
 // -analysis takes any comma-separated selection from the analysis
 // registry ("fasttrack", "lockset", "atomicity", "commgraph", "taint",
@@ -37,12 +38,26 @@
 // aliases that resolve to them, and the wrapper combinator in composed
 // form ("sampled:<name>").
 //
+// Fault isolation (see internal/faultinject and ARCHITECTURE.md):
+// -chaos injects a deterministic fault plan ("seed=N;KIND:SEAM[@COUNT];…"
+// with kinds panic|error|stall and seams provider|guest|drain|analysis)
+// into every cell; -max-cycles and -cell-deadline bound each cell's
+// simulated-cycle and wall-clock consumption with typed budget errors;
+// -keep-going records failing cells in the report and finishes the rest
+// of the sweep instead of aborting on the first error.
+//
 // All execution goes through the concurrent runner (internal/runner):
 // -bench all shards the ten models across -workers pool workers, and the
-// printed statistics are identical at any worker count.
+// printed statistics are identical at any worker count. A failing cell —
+// injected or genuine — never crashes the process: it surfaces as a
+// typed cell error.
+//
+// Exit codes: 0 clean, 1 findings reported, 2 cell error (a run failed,
+// even under -keep-going), 3 flag/usage errors.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +65,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/hypervisor"
 	"repro/internal/parsec"
 	"repro/internal/provider"
@@ -57,37 +73,57 @@ import (
 	"repro/internal/sharing"
 )
 
-func main() {
-	bench := flag.String("bench", "fluidanimate", "benchmark name (see -list), or \"all\" to sweep every model")
-	mode := flag.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
-	analyses := flag.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
-	maxFindings := flag.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
-	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
-	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode: inline (per access) or deferred (batched ring drains)")
-	prov := flag.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
-	paging := flag.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
-	swi := flag.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
-	threads := flag.Int("threads", 0, "worker threads (0 = benchmark default)")
-	scale := flag.Float64("scale", 1.0, "workload size multiplier")
-	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for -bench all (results are identical at any value)")
-	findings := flag.Bool("findings", false, "print every detected race/warning/violation/flow")
-	races := flag.Bool("races", false, "alias for -findings")
-	list := flag.Bool("list", false, "list benchmarks and exit")
-	listAn := flag.Bool("list-analyses", false, "list registered analyses and exit")
-	flag.Parse()
+// Exit codes, distinct so scripts can tell outcome classes apart.
+const (
+	exitClean     = 0 // ran, no findings
+	exitFindings  = 1 // ran, at least one race/warning/violation reported
+	exitCellError = 2 // at least one cell failed (panic, budget, run error)
+	exitBadFlags  = 3 // unusable flags or values; nothing ran
+)
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("aikido-run", flag.ContinueOnError)
+	bench := fs.String("bench", "fluidanimate", "benchmark name (see -list), or \"all\" to sweep every model")
+	mode := fs.String("mode", "aikido", "native, dbi, fasttrack, aikido, profile")
+	analyses := fs.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
+	maxFindings := fs.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
+	epoch := fs.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
+	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access) or deferred (batched ring drains)")
+	prov := fs.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
+	paging := fs.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
+	swi := fs.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
+	threads := fs.Int("threads", 0, "worker threads (0 = benchmark default)")
+	scale := fs.Float64("scale", 1.0, "workload size multiplier")
+	workers := fs.Int("workers", runtime.NumCPU(), "runner pool size for -bench all (results are identical at any value)")
+	findings := fs.Bool("findings", false, "print every detected race/warning/violation/flow")
+	races := fs.Bool("races", false, "alias for -findings")
+	list := fs.Bool("list", false, "list benchmarks and exit")
+	listAn := fs.Bool("list-analyses", false, "list registered analyses and exit")
+	chaos := fs.String("chaos", "", "fault-injection plan: [seed=N;]KIND:SEAM[@COUNT];... (kinds panic|error|stall, seams provider|guest|drain|analysis)")
+	maxCycles := fs.Uint64("max-cycles", 0, "per-cell simulated-cycle budget (0 = unlimited); overrun is a typed cell error")
+	cellDeadline := fs.Duration("cell-deadline", 0, "per-cell wall-clock budget (0 = unlimited); overrun is a typed cell error")
+	keepGoing := fs.Bool("keep-going", false, "record failing cells and finish the sweep instead of aborting on the first error")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return exitClean
+		}
+		return exitBadFlags
+	}
 	printFindings := *findings || *races
 
 	if *list {
 		for _, n := range parsec.Names() {
 			fmt.Println(n)
 		}
-		return
+		return exitClean
 	}
 	if *listAn {
 		for _, line := range analysis.Catalog() {
 			fmt.Println(line)
 		}
-		return
+		return exitClean
 	}
 
 	m, ok := map[string]core.Mode{
@@ -99,7 +135,7 @@ func main() {
 	}[*mode]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aikido-run: unknown mode %q\n", *mode)
-		os.Exit(2)
+		return exitBadFlags
 	}
 	pk, ok := map[string]provider.Kind{
 		"aikidovm": provider.AikidoVM,
@@ -108,7 +144,7 @@ func main() {
 	}[*prov]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aikido-run: unknown provider %q\n", *prov)
-		os.Exit(2)
+		return exitBadFlags
 	}
 	pg, ok := map[string]hypervisor.PagingMode{
 		"shadow": hypervisor.ShadowPaging,
@@ -116,7 +152,7 @@ func main() {
 	}[*paging]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aikido-run: unknown paging mode %q\n", *paging)
-		os.Exit(2)
+		return exitBadFlags
 	}
 	sw, ok := map[string]hypervisor.SwitchInterception{
 		"hypercall": hypervisor.SwitchHypercall,
@@ -125,7 +161,12 @@ func main() {
 	}[*swi]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "aikido-run: unknown switch mechanism %q\n", *swi)
-		os.Exit(2)
+		return exitBadFlags
+	}
+	plan, err := faultinject.ParsePlan(*chaos)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
+		return exitBadFlags
 	}
 
 	cfg := core.DefaultConfig(m)
@@ -134,12 +175,14 @@ func main() {
 	dm, err := core.ParseDispatchMode(*dispatch)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-		os.Exit(2)
+		return exitBadFlags
 	}
 	cfg.Dispatch = dm
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
+	cfg.Chaos = plan
+	cfg.MaxCycles = *maxCycles
 	if *epoch {
 		cfg.Epoch = sharing.DefaultEpochPolicy()
 	}
@@ -151,6 +194,7 @@ func main() {
 		}
 		return b
 	}
+	ropt := runner.Options{KeepGoing: *keepGoing, CellDeadline: *cellDeadline}
 
 	if *bench == "all" {
 		var specs []runner.Spec
@@ -158,10 +202,11 @@ func main() {
 			b = size(b)
 			specs = append(specs, runner.Spec{Label: b.Name, Workload: b.Spec, Config: cfg})
 		}
-		rep, err := runner.Sweep(specs, runner.Options{Workers: *workers})
+		ropt.Workers = *workers
+		rep, err := runner.Sweep(specs, ropt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-			os.Exit(1)
+			return exitCellError
 		}
 		fmt.Printf("mode %s, analyses %v, scale %.2f, %d runner workers\n",
 			m, cfg.Analyses, *scale, rep.Workers)
@@ -170,6 +215,11 @@ func main() {
 		total := 0
 		for _, c := range rep.Cells {
 			res := c.Res
+			if res == nil {
+				// Failed under -keep-going: its slot is empty; the
+				// failure itself is listed below.
+				continue
+			}
 			fmt.Printf("%-15s %14d %14d %14d %14d %8.2f%% %9d\n",
 				c.Spec.Label, res.Cycles, res.Engine.Instructions, res.Engine.MemRefs,
 				res.Engine.InstrumentedExecs, 100*res.SharedAccessFraction(), res.TotalFindings())
@@ -180,6 +230,9 @@ func main() {
 			"total", t.Cycles, t.Instructions, t.MemRefs, t.InstrumentedExecs, "", total)
 		if printFindings {
 			for _, c := range rep.Cells {
+				if c.Res == nil {
+					continue
+				}
 				for _, name := range c.Res.AnalysisNames() {
 					for _, line := range c.Res.Findings[name].Strings() {
 						fmt.Printf("%s: %s: %s\n", c.Spec.Label, name, line)
@@ -187,22 +240,26 @@ func main() {
 				}
 			}
 		}
-		return
+		return verdict(rep, total)
 	}
 
 	b, err := parsec.ByName(*bench)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-		os.Exit(2)
+		return exitBadFlags
 	}
 	b = size(b)
-	rep, err := runner.Sweep([]runner.Spec{{Label: b.Name, Workload: b.Spec, Config: cfg}},
-		runner.Options{Workers: 1})
+	ropt.Workers = 1
+	rep, err := runner.Sweep([]runner.Spec{{Label: b.Name, Workload: b.Spec, Config: cfg}}, ropt)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "aikido-run: %v\n", err)
-		os.Exit(1)
+		return exitCellError
 	}
 	res := rep.Cells[0].Res
+	if res == nil {
+		// The only cell failed under -keep-going.
+		return verdict(rep, 0)
+	}
 
 	fmt.Printf("benchmark        %s (%d worker threads, scale %.2f)\n", b.Name, b.Spec.Threads, *scale)
 	fmt.Printf("mode             %s\n", res.Mode)
@@ -211,8 +268,9 @@ func main() {
 	fmt.Printf("memory refs      %d\n", res.Engine.MemRefs)
 	fmt.Printf("instrumented     %d\n", res.Engine.InstrumentedExecs)
 	fmt.Printf("context switches %d\n", res.GuestContextSwitches)
-	if res.DeferredDrains > 0 {
-		fmt.Printf("deferred drains  %d (%d access records banked)\n", res.DeferredDrains, res.DeferredRecords)
+	if res.DeferredDrains > 0 || res.DeferredFallbacks > 0 {
+		fmt.Printf("deferred drains  %d (%d access records banked, %d inline fallbacks)\n",
+			res.DeferredDrains, res.DeferredRecords, res.DeferredFallbacks)
 	}
 	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
 		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)
@@ -227,6 +285,9 @@ func main() {
 			fmt.Printf("hypercalls       %d\n", res.HV.Hypercalls)
 		}
 		fmt.Printf("instrumented PCs %d\n", res.SD.InstrumentedPCs)
+		if res.SD.RearmFailures > 0 {
+			fmt.Printf("rearm failures   %d (affected pages stay instrumented)\n", res.SD.RearmFailures)
+		}
 		if *epoch {
 			fmt.Printf("epoch sweeps     %d (%d ticks)\n", res.SD.EpochSweeps, res.EpochTicks)
 			fmt.Printf("pages demoted    %d private, %d unused\n",
@@ -237,14 +298,34 @@ func main() {
 	}
 	// The findings table is registry-driven: one block per selected
 	// analysis, rendered through the uniform findings surface.
+	total := 0
 	for _, name := range res.AnalysisNames() {
 		f := res.Findings[name]
 		fmt.Printf("analysis         %s: %s\n", name, f.Summary())
 		fmt.Printf("findings         %d\n", f.Len())
+		total += f.Len()
 		if printFindings {
 			for _, line := range f.Strings() {
 				fmt.Printf("  %s\n", line)
 			}
 		}
 	}
+	return verdict(rep, total)
+}
+
+// verdict prints any recorded cell failures and maps the sweep outcome
+// to the documented exit code: cell errors dominate findings dominate
+// clean.
+func verdict(rep *runner.Report, totalFindings int) int {
+	for _, ce := range rep.Failed {
+		fmt.Fprintf(os.Stderr, "aikido-run: failed cell %d (%s): %s: %v\n",
+			ce.Index, ce.Label, ce.Kind, ce.Err)
+	}
+	switch {
+	case len(rep.Failed) > 0:
+		return exitCellError
+	case totalFindings > 0:
+		return exitFindings
+	}
+	return exitClean
 }

@@ -30,10 +30,12 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/dbi"
 	"repro/internal/fasttrack"
+	"repro/internal/faultinject"
 	"repro/internal/guest"
 	"repro/internal/hypervisor"
 	"repro/internal/isa"
@@ -152,6 +154,24 @@ type Config struct {
 	// Shared state machine. See sharing.EpochPolicy and
 	// sharing.DefaultEpochPolicy.
 	Epoch sharing.EpochPolicy
+
+	// MaxCycles caps the run's simulated cycles: a run whose clock
+	// exceeds it at a scheduling-quantum boundary aborts with a typed
+	// *BudgetError. The check sits on the engine's existing quantum seam
+	// and only reads the clock, so it is deterministic and, when 0
+	// (unlimited), entirely absent — calibrated baselines never see it.
+	MaxCycles uint64
+	// MaxWall caps the run's real (wall-clock) time, checked on the same
+	// quantum seam; exceeding it aborts with a typed *BudgetError. Wall
+	// time is inherently nondeterministic — deterministic byte-identity
+	// suites must leave it 0. The runner's Options.CellDeadline fills
+	// this per cell when unset.
+	MaxWall time.Duration
+	// Chaos is the deterministic fault-injection plan (nil = none). The
+	// plan is immutable and shared across cells; each System builds its
+	// own injector, so trigger state never leaks between runs. See
+	// internal/faultinject and chaos.go for the seams.
+	Chaos *faultinject.Plan
 }
 
 // DefaultConfig returns the standard configuration for a mode.
@@ -188,9 +208,15 @@ type System struct {
 
 	// an is the dispatch stack over Analyses (nil when none run): the mux,
 	// wrapped by the deferred pipeline or the inline dispatch charger when
-	// the configuration asks for them.
+	// the configuration asks for them, and by the chaos analysis seam
+	// outermost when a plan is armed.
 	an   analysis.Analysis
 	pipe *pipeline // non-nil only under effective deferred dispatch
+
+	// inj is this run's fault injector (nil without a chaos plan) and
+	// wallStart the MaxWall anchor, stamped when Run starts executing.
+	inj       *faultinject.Injector
+	wallStart time.Time
 }
 
 // Analysis returns the active analysis registered under the (canonical)
@@ -228,7 +254,16 @@ func (s *System) newAnalyses() (analysis.Analysis, error) {
 	if max := s.Cfg.MaxFindings; max != 0 {
 		m.SetMaxFindings(max)
 	}
-	return s.wrapDispatch(m), nil
+	an := s.wrapDispatch(m)
+	if s.inj != nil && an != nil {
+		// The chaos analysis seam wraps OUTERMOST — above the deferred
+		// pipeline — so its crossing counts (and therefore where a
+		// trigger lands) are identical under inline and deferred
+		// dispatch: it observes the access stream as the instrumented
+		// hot paths emit it, before any banking.
+		an = &chaosAnalysis{Analysis: an, inj: s.inj}
+	}
+	return an, nil
 }
 
 // NewSystem loads prog and assembles the configured stack.
@@ -240,6 +275,10 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 	}
 	clock := &stats.Clock{}
 	s := &System{Cfg: cfg, Machine: m, Process: p, Clock: clock}
+	// One injector per System: the chaos plan is immutable and shared,
+	// the trigger state is this run's own. Stall faults charge the
+	// simulated clock, so a budgeted run surfaces them as *BudgetError.
+	s.inj = cfg.Chaos.NewInjector(clock.Charge)
 
 	switch cfg.Mode {
 	case ModeNative:
@@ -272,6 +311,9 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 			}
 			s.HV.SetSwitchInterception(cfg.Switch)
 			s.Prov = provider.NewAikidoVM(p, s.HV, clock, cfg.Costs)
+		}
+		if s.inj != nil {
+			s.Prov = &chaosProvider{Interface: s.Prov, inj: s.inj}
 		}
 		p.SetBus(&kernelBus{prov: s.Prov})
 		s.Um = umbra.Attach(p, clock, cfg.Costs)
@@ -320,6 +362,7 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 	}
 
 	s.wireHooks()
+	s.armQuantumCheck()
 	return s, nil
 }
 
@@ -516,15 +559,22 @@ type Result struct {
 	EpochTicks uint64
 
 	// DeferredDrains and DeferredRecords describe the deferred dispatch
-	// pipeline: drain batches replayed and access records banked (both 0
-	// under inline dispatch — and the only Result fields that may differ
-	// between the two dispatch modes).
-	DeferredDrains  uint64
-	DeferredRecords uint64
+	// pipeline: drain batches replayed and access records banked.
+	// DeferredFallbacks counts drains that failed (injected drain-seam
+	// errors) and degraded the pipeline to inline delivery for the rest
+	// of the run. All three are 0 under inline dispatch — and the only
+	// Result fields that may differ between the two dispatch modes.
+	DeferredDrains    uint64
+	DeferredRecords   uint64
+	DeferredFallbacks uint64
 }
 
 // Run executes the assembled system to completion.
 func (s *System) Run() (*Result, error) {
+	if s.Cfg.MaxWall > 0 {
+		// Anchor the wall budget at execution start, not assembly time.
+		s.wallStart = time.Now()
+	}
 	eres, err := s.Engine.Run()
 	if err != nil {
 		return nil, err
@@ -566,6 +616,7 @@ func (s *System) Run() (*Result, error) {
 	if s.pipe != nil {
 		r.DeferredDrains = s.pipe.drains
 		r.DeferredRecords = s.pipe.records
+		r.DeferredFallbacks = s.pipe.fallbacks
 	}
 	if len(s.Analyses) > 0 {
 		r.Findings = make(map[string]analysis.Findings, len(s.Analyses))

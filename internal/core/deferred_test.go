@@ -45,7 +45,7 @@ func (r *recordingAnalysis) OnAccessBatch(recs []analysis.AccessRecord) {
 // so the remainder of two Results can be compared exactly.
 func stripDeferredCounters(r *Result) *Result {
 	c := *r
-	c.DeferredDrains, c.DeferredRecords = 0, 0
+	c.DeferredDrains, c.DeferredRecords, c.DeferredFallbacks = 0, 0, 0
 	return &c
 }
 

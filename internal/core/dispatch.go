@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/analysis"
+	"repro/internal/faultinject"
 	"repro/internal/guest"
 	"repro/internal/isa"
 	"repro/internal/stats"
@@ -86,10 +87,18 @@ type pipeline struct {
 	seq     uint64
 	scratch []analysis.AccessRecord // merge buffer, reused across drains
 
-	// drains/records describe pipeline behaviour (Result.DeferredDrains /
-	// DeferredRecords).
-	drains  uint64
-	records uint64
+	// inj is the chaos injector's drain seam (nil without a plan), and
+	// inline the graceful-degradation latch: after a failed drain the
+	// pipeline stops banking and delivers every further access straight
+	// through, exactly as inline dispatch would (see drain).
+	inj    *faultinject.Injector
+	inline bool
+
+	// drains/records/fallbacks describe pipeline behaviour
+	// (Result.DeferredDrains / DeferredRecords / DeferredFallbacks).
+	drains    uint64
+	records   uint64
+	fallbacks uint64
 }
 
 // newPipeline builds the deferred pipeline over the (possibly multiplexed)
@@ -105,6 +114,18 @@ func newPipeline(an analysis.Analysis, nmembers int, clock *stats.Clock, costs s
 // few emitted stores are part of the instrumentation sequence the host
 // path already charges for).
 func (p *pipeline) push(tid guest.TID, pc isa.PC, addr uint64, size uint8, write, shared bool) {
+	if p.inline {
+		// Degraded mode after a failed drain: deliver directly, exactly
+		// as inline dispatch would (including its per-event transition
+		// charge, so a cost-model run stays comparable to pure inline).
+		p.chargeInline(1)
+		if shared {
+			p.an.OnSharedAccess(tid, pc, addr, size, write)
+		} else {
+			p.an.OnAccess(tid, pc, addr, size, write)
+		}
+		return
+	}
 	i := int(tid)
 	if i >= len(p.rings) || p.rings[i] == nil {
 		p.growRings(i)
@@ -184,6 +205,24 @@ func (p *pipeline) drain() {
 	p.pending = 0
 	p.scratch = out[:0]
 
+	// Chaos drain seam. An error-kind fault here models a broken batch
+	// path: the response is graceful degradation, not abort. The merged
+	// batch is replayed record-by-record on the inline hooks — the exact
+	// sequence order DispatchBatch would have delivered, so no record is
+	// lost or duplicated and findings stay identical — and the pipeline
+	// latches inline for the remainder of the run. The error fires
+	// BEFORE DispatchBatch ever starts, never mid-batch: a half-consumed
+	// batch could not be replayed without double-delivery. (Panic-kind
+	// faults unwind to the runner's containment instead; the cell is
+	// discarded whole, so partial delivery cannot corrupt a report.)
+	if err := p.inj.Fire(faultinject.SeamDrain); err != nil {
+		p.inline = true
+		p.fallbacks++
+		p.chargeInline(uint64(len(out)))
+		analysis.ReplayBatch(p.an, out)
+		return
+	}
+
 	// The batched transition cost: one runtime entry per analysis per
 	// drain plus a per-record hand-off, against inline dispatch's
 	// per-access-per-analysis clean call. Zero under the default model,
@@ -194,6 +233,16 @@ func (p *pipeline) drain() {
 	p.drains++
 	p.records += uint64(len(out))
 	analysis.DispatchBatch(p.an, out)
+}
+
+// chargeInline charges the inline per-event transition cost for n events
+// delivered through the degraded (post-fallback) path — what the
+// inlineCharger would have charged had the run been inline from the
+// start. Zero under the default model.
+func (p *pipeline) chargeInline(n uint64) {
+	if c := p.costs.AnalysisDispatch; c > 0 {
+		p.clock.Charge(c * p.nmem * n)
+	}
 }
 
 // Name implements analysis.Analysis.
@@ -328,6 +377,7 @@ func (s *System) wrapDispatch(an analysis.Analysis) analysis.Analysis {
 		}
 		if deferrable {
 			s.pipe = newPipeline(an, n, s.Clock, s.Cfg.Costs)
+			s.pipe.inj = s.inj
 			// Front registration: the drain must fire before Umbra or an
 			// analysis observes the VMA change (listeners are notified in
 			// registration order, and Umbra registered at attach time),

@@ -185,6 +185,14 @@ type Engine struct {
 	// register file — the hook register-dataflow tools (taint tracking)
 	// build on. Nil costs nothing.
 	OnRetire func(t *guest.Thread, pc isa.PC, in isa.Instr)
+	// OnQuantum, if set, runs before every scheduling quantum; a non-nil
+	// error aborts the run with that error. This is the engine's budget
+	// and fault-injection seam (internal/core wires cycle/wall budget
+	// checks and the chaos guest seam here): it sits on the existing
+	// scheduling boundary, fires a deterministic number of times per run,
+	// and costs one nil check when unset — so calibrated baselines are
+	// untouched.
+	OnQuantum func() error
 
 	// blocks is the code cache as a direct PC-indexed table: slot pc
 	// holds the block starting at pc (guest PCs are dense instruction
@@ -402,6 +410,11 @@ func (e *Engine) Run() (*Result, error) {
 	for p.Alive() {
 		if e.Cfg.MaxSteps > 0 && e.C.Instructions > e.Cfg.MaxSteps {
 			return nil, fmt.Errorf("dbi: exceeded %d instructions (runaway workload?)", e.Cfg.MaxSteps)
+		}
+		if e.OnQuantum != nil {
+			if err := e.OnQuantum(); err != nil {
+				return nil, err
+			}
 		}
 		t := p.Current()
 		if t == nil {

@@ -30,11 +30,23 @@
 // can never affect the output — results land at the cell's index and
 // tallies merge order-independently — so dynamic assignment costs no
 // determinism.
+//
+// The same isolation property underwrites fault containment: every cell
+// runs under a recover() boundary (runCell), so a panicking analysis or
+// an injected fault poisons only its own cell's private System. Failures
+// surface as typed *CellError values — in Report.Failed under
+// Options.KeepGoing, or as the returned error (with the partial Report
+// preserved) on the fail-fast path. See docs/benchmarking.md for the
+// error taxonomy and internal/faultinject for the chaos harness that
+// exercises it.
 package runner
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -79,15 +91,114 @@ type Options struct {
 	// Workers is the pool size. <= 0 means runtime.NumCPU(). The pool is
 	// clamped to the number of cells.
 	Workers int
+	// KeepGoing records failing cells in Report.Failed and runs every
+	// remaining cell instead of aborting the sweep on the first error.
+	// The resulting Report is fully deterministic: failed cells appear
+	// in canonical spec order, completed cells land in their slots, and
+	// the bytes are identical at any worker count — which cell fails is
+	// a property of the cell, never of scheduling.
+	KeepGoing bool
+	// CellDeadline is a per-cell wall-clock budget, copied into each
+	// cell's Config.MaxWall when that is unset (a cell's own MaxWall
+	// wins). Exceeding it fails the cell with a typed *core.BudgetError
+	// (FailBudget). Wall time is nondeterministic; byte-identity suites
+	// must leave it 0.
+	CellDeadline time.Duration
+}
+
+// FailKind classifies why a cell failed.
+type FailKind uint8
+
+// Cell failure kinds.
+const (
+	// FailCompile: the workload source failed to compile.
+	FailCompile FailKind = iota
+	// FailRun: core.Run returned an ordinary error (including injected
+	// error-kind faults; unwrap to *faultinject.Fault to identify them).
+	FailRun
+	// FailPanic: the cell panicked and the worker's containment
+	// recovered it (injected panic-kind faults, detector bugs).
+	FailPanic
+	// FailBudget: the cell exceeded Config.MaxCycles or its wall
+	// deadline (the error unwraps to *core.BudgetError).
+	FailBudget
+)
+
+// String names the kind for reports.
+func (k FailKind) String() string {
+	switch k {
+	case FailCompile:
+		return "compile"
+	case FailRun:
+		return "run"
+	case FailPanic:
+		return "panic"
+	case FailBudget:
+		return "budget"
+	}
+	return "kind?"
+}
+
+// MarshalJSON renders the kind as its name.
+func (k FailKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// CellError is the typed per-cell failure: which cell, how it failed,
+// and the underlying error. It wraps (Unwrap) the cause, so errors.As
+// reaches typed causes like *core.BudgetError and *faultinject.Fault
+// through it.
+type CellError struct {
+	// Index and Label identify the cell in canonical spec order.
+	Index int    `json:"index"`
+	Label string `json:"label"`
+	// Kind classifies the failure.
+	Kind FailKind `json:"kind"`
+	// Err is the underlying cause (for FailPanic, the recovered value
+	// as an error).
+	Err error `json:"-"`
+	// Stack is the goroutine stack at the recovery point (FailPanic
+	// only). Excluded from JSON and from Error(): stacks carry
+	// goroutine IDs and addresses, which would break the byte-identity
+	// of otherwise deterministic reports.
+	Stack string `json:"-"`
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("runner: cell %d (%s): %s: %v", e.Index, e.Label, e.Kind, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// MarshalJSON serializes the deterministic fields plus the cause's
+// rendered message (the Report.Failed JSON schema; see
+// docs/benchmarking.md).
+func (e *CellError) MarshalJSON() ([]byte, error) {
+	msg := ""
+	if e.Err != nil {
+		msg = e.Err.Error()
+	}
+	return json.Marshal(struct {
+		Index int    `json:"index"`
+		Label string `json:"label"`
+		Kind  string `json:"kind"`
+		Error string `json:"error"`
+	}{e.Index, e.Label, e.Kind.String(), msg})
 }
 
 // Report is the reconciled outcome of a sweep.
 type Report struct {
 	// Cells holds one Measurement per input Spec, in spec order,
-	// regardless of which worker ran which cell.
+	// regardless of which worker ran which cell. Failed (or, on a
+	// fail-fast abort, never-started) cells leave their slot zero.
 	Cells []Measurement
+	// Failed lists the cells that did not complete, in canonical spec
+	// order — deterministic at any worker count under KeepGoing. On the
+	// fail-fast path it holds the failures that had been recorded when
+	// the pool drained (always including the one returned as the error).
+	Failed []*CellError
 	// Totals is the merge of the per-worker tallies: order-independent
-	// sums over every cell in the sweep.
+	// sums over every completed cell.
 	Totals stats.Tally
 	// Workers is the pool size actually used.
 	Workers int
@@ -96,8 +207,18 @@ type Report struct {
 // Sweep executes every cell of specs on a worker pool and reconciles the
 // per-worker shards into a Report. The Report (minus wall-clock) is
 // byte-identical for any worker count; see the package comment for the
-// determinism contract. On error the first failing cell in spec order is
-// reported, again independent of scheduling.
+// determinism contract.
+//
+// Failure handling: every cell runs under a recover() that converts
+// panics into typed *CellError values, so a panicking detector or an
+// injected fault can never take down the process or the sweep. Under
+// Options.KeepGoing failing cells are recorded in Report.Failed (in
+// canonical spec order) and every remaining cell still runs, with no
+// error returned. Otherwise the sweep fails fast: the first failing cell
+// in spec order is returned as a *CellError — independent of scheduling —
+// ALONGSIDE the partial Report, so the measurements completed before the
+// abort are never discarded (which cells those are depends on
+// scheduling; only the KeepGoing report is deterministic).
 func Sweep(specs []Spec, opt Options) (*Report, error) {
 	workers := opt.Workers
 	if workers <= 0 {
@@ -111,7 +232,7 @@ func Sweep(specs []Spec, opt Options) (*Report, error) {
 	}
 
 	cells := make([]Measurement, len(specs))
-	errs := make([]error, len(specs))
+	errs := make([]*CellError, len(specs))
 	tallies := make([]stats.Tally, workers)
 
 	var next atomic.Int64
@@ -125,20 +246,42 @@ func Sweep(specs []Spec, opt Options) (*Report, error) {
 			// Dynamic queue: claim the next unclaimed cell. Each write
 			// below touches only the claimed cell's slot and this
 			// worker's private tally — no locks on the measurement path.
-			for !failed.Load() {
+			for opt.KeepGoing || !failed.Load() {
 				i := int(next.Add(1)) - 1
 				if i >= len(specs) {
 					return
 				}
-				m, err := runCell(specs[i])
-				if err != nil {
-					// Stop new claims pool-wide. Cells are claimed in
-					// increasing index order and in-flight cells finish,
-					// so the globally first failing cell is always
-					// claimed and recorded before the pool drains.
-					errs[i] = err
-					failed.Store(true)
+				// Re-check after claiming (fail-fast only): a claim that
+				// races with another worker's failure would otherwise run
+				// its cell to completion for a report that is already
+				// doomed. The re-check cannot change which error is
+				// reported: claims are monotonic, so any cell claimed
+				// after failed was set has a higher index than the
+				// failing cell, and the reconciliation below picks the
+				// lowest index. Cells already in flight are allowed to
+				// finish — there is no preemption seam through an
+				// executing System, and letting them complete both keeps
+				// the salvaged partial report maximal and keeps the
+				// first-failure determinism argument simple (the first
+				// failing cell in spec order was necessarily claimed
+				// before the flag was set, so it always runs to
+				// completion and records its error).
+				if !opt.KeepGoing && failed.Load() {
 					return
+				}
+				m, cerr := runCell(i, specs[i], opt)
+				if cerr != nil {
+					errs[i] = cerr
+					if !opt.KeepGoing {
+						// Stop new claims pool-wide. Cells are claimed in
+						// increasing index order and in-flight cells
+						// finish, so the globally first failing cell is
+						// always claimed and recorded before the pool
+						// drains.
+						failed.Store(true)
+						return
+					}
+					continue
 				}
 				cells[i] = m
 				tally.Add(m.Res, m.Wall)
@@ -147,36 +290,68 @@ func Sweep(specs []Spec, opt Options) (*Report, error) {
 	}
 	wg.Wait()
 
-	// Reconciliation: first error in canonical spec order (scheduling
-	// cannot change which one is reported), then order-independent merge
-	// of the worker shards.
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("runner: cell %d (%s): %w", i, specs[i].Label, err)
-		}
-	}
+	// Reconciliation: order-independent merge of the worker shards, then
+	// failures collected in canonical spec order (scheduling cannot
+	// change which failure is first).
 	rep := &Report{Cells: cells, Workers: workers}
 	for w := range tallies {
 		rep.Totals.Merge(tallies[w])
+	}
+	for _, cerr := range errs {
+		if cerr != nil {
+			rep.Failed = append(rep.Failed, cerr)
+		}
+	}
+	if !opt.KeepGoing && len(rep.Failed) > 0 {
+		return rep, rep.Failed[0]
 	}
 	return rep, nil
 }
 
 // runCell compiles and executes one cell in complete isolation: a fresh
-// program, a fresh machine, a fresh system.
-func runCell(s Spec) (Measurement, error) {
+// program, a fresh machine, a fresh system. The deferred recover is the
+// containment boundary of the whole sweep engine: a panic anywhere in
+// the stack under this cell — detector bug, injected fault — becomes a
+// typed *CellError instead of a process crash. Cell isolation is what
+// makes the recovery safe: the cell's System is garbage, but nothing
+// else shares state with it.
+func runCell(i int, s Spec, opt Options) (m Measurement, cerr *CellError) {
+	defer func() {
+		if r := recover(); r != nil {
+			err, ok := r.(error)
+			if !ok {
+				err = fmt.Errorf("panic: %v", r)
+			}
+			cerr = &CellError{Index: i, Label: s.Label, Kind: FailPanic, Err: err,
+				Stack: string(debug.Stack())}
+		}
+	}()
 	src := s.Source
 	if src == nil {
 		src = s.Workload
 	}
 	prog, err := src.Compile()
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, &CellError{Index: i, Label: s.Label, Kind: FailCompile, Err: err}
+	}
+	cfg := s.Config
+	if opt.CellDeadline > 0 && cfg.MaxWall == 0 {
+		cfg.MaxWall = opt.CellDeadline
 	}
 	start := time.Now()
-	res, err := core.Run(prog, s.Config)
+	res, err := core.Run(prog, cfg)
 	if err != nil {
-		return Measurement{}, err
+		return Measurement{}, &CellError{Index: i, Label: s.Label, Kind: classify(err), Err: err}
 	}
 	return Measurement{Spec: s, Res: res, Wall: time.Since(start)}, nil
+}
+
+// classify maps a run error to its failure kind: typed budget errors are
+// FailBudget, everything else FailRun.
+func classify(err error) FailKind {
+	var be *core.BudgetError
+	if errors.As(err, &be) {
+		return FailBudget
+	}
+	return FailRun
 }
