@@ -7,11 +7,12 @@
 // Usage:
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
-//	              switch|providers|detectors|muxbench|epochs|deferred|scaling|
-//	              nondet|stm|crew]
+//	              switch|providers|detectors|muxbench|epochs|deferred|vector|
+//	              scaling|nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
 //	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
-//	             [-epoch] [-dispatch inline|deferred]
+//	             [-vecjson FILE]
+//	             [-epoch] [-dispatch inline|deferred|vectorized]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
 //	aikido-bench -experiment chaos [-chaos PLAN] [-scale F] [-workers N]
 //	aikido-bench -compare OLD.json,NEW.json [-max-regress-pct P]
@@ -47,13 +48,17 @@
 // it does fire.
 //
 // -dispatch selects the analysis dispatch mode for every analysis-bearing
-// cell: inline clean calls per access (the default) or deferred per-thread
-// rings drained in batches at synchronization boundaries. Under the
-// default cost model the two are byte-identical — CI's 4th equivalence leg
-// diffs a "-dispatch deferred" report against the inline baseline to pin
-// exactly that. The deferred experiment (and -deferredjson, the
-// BENCH_5.json source) measures the batching win under the explicit
-// transition-cost model (stats.DispatchCosts).
+// cell: inline clean calls per access (the default), deferred per-thread
+// rings drained in batches at synchronization boundaries, or vectorized —
+// deferred plus page-grouped batch kernels that run-length coalesce
+// same-state records. Under the default cost model all three are
+// byte-identical — CI's 4th and 5th equivalence legs diff "-dispatch
+// deferred" and "-dispatch vectorized" reports against the inline
+// baseline to pin exactly that. The deferred experiment (and
+// -deferredjson, the BENCH_5.json source) measures the batching win under
+// the explicit transition-cost model (stats.DispatchCosts); the vector
+// experiment (and -vecjson, the BENCH_7.json source) measures what the
+// vectorized kernels recover on top of BENCH_5's deferred-scalar cells.
 //
 // -experiment chaos is the fault-isolation acceptance harness and is NOT
 // part of "all": it runs the chaos matrix (every Figure-5 model×mode cell
@@ -84,7 +89,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
@@ -92,8 +97,9 @@ func main() {
 	muxOut := flag.String("muxjson", "", "write the mux-amortization report (BENCH_3.json snapshots) to this file (\"-\" = stdout)")
 	epochOut := flag.String("epochjson", "", "write the epoch re-privatization report (BENCH_4.json snapshots) to this file (\"-\" = stdout)")
 	deferredOut := flag.String("deferredjson", "", "write the deferred-dispatch amortization report (BENCH_5.json snapshots) to this file (\"-\" = stdout)")
+	vecOut := flag.String("vecjson", "", "write the batch-vectorization report (BENCH_7.json snapshots) to this file (\"-\" = stdout)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
-	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline or deferred (CI diffs deferred against the inline baseline)")
+	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred or vectorized (CI diffs both non-inline modes against the inline baseline)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
 	chaosPlan := flag.String("chaos", "", "with -experiment chaos: the fault-injection plan [seed=N;]KIND:SEAM[@COUNT];... (empty = idle-overhead identity check)")
@@ -156,9 +162,10 @@ func main() {
 		return f
 	}
 
-	// -json, -muxjson, -epochjson and -deferredjson each replace the text
-	// experiments; given together, every requested report is produced.
-	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" {
+	// -json, -muxjson, -epochjson, -deferredjson and -vecjson each replace
+	// the text experiments; given together, every requested report is
+	// produced.
+	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" || *vecOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -215,6 +222,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WriteDeferredJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *vecOut != "" {
+			rep, err := experiments.VectorJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: vecjson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*vecOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteVectorJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -327,6 +349,14 @@ func main() {
 			return err
 		}
 		experiments.WriteDeferredAmortization(w, rows)
+		return nil
+	})
+	run("vector", func() error {
+		rows, err := experiments.VectorAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteVectorAmortization(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

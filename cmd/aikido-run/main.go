@@ -6,7 +6,7 @@
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
 //	           [-analysis NAME[,NAME...]] [-max-findings N] [-epoch]
-//	           [-dispatch inline|deferred]
+//	           [-dispatch inline|deferred|vectorized]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
 //	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
@@ -32,7 +32,11 @@
 // them through the selected analyses in deterministic batches at
 // synchronization boundaries instead of calling them per access; findings
 // and statistics are identical to the inline default (the run report adds
-// the pipeline's drain/record counts).
+// the pipeline's drain/record counts). -dispatch vectorized additionally
+// groups each drained batch by page and hands contiguous same-page runs
+// to the detectors' batch kernels, which coalesce same-epoch runs and
+// retire report-free singletons against one hoisted metadata load —
+// still byte-identical to inline under the default cost model.
 //
 // -list-analyses prints the registry catalog: canonical names, the short
 // aliases that resolve to them, and the wrapper combinator in composed
@@ -90,7 +94,7 @@ func run(args []string) int {
 	analyses := fs.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
 	maxFindings := fs.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
 	epoch := fs.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
-	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access) or deferred (batched ring drains)")
+	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access), deferred (batched ring drains) or vectorized (batched + page-grouped kernels)")
 	prov := fs.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := fs.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
 	swi := fs.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
@@ -271,6 +275,10 @@ func run(args []string) int {
 	if res.DeferredDrains > 0 || res.DeferredFallbacks > 0 {
 		fmt.Printf("deferred drains  %d (%d access records banked, %d inline fallbacks)\n",
 			res.DeferredDrains, res.DeferredRecords, res.DeferredFallbacks)
+	}
+	if res.DeferredGroups > 0 {
+		fmt.Printf("vector groups    %d (%d records retired in-kernel, %d scalar fallbacks)\n",
+			res.DeferredGroups, res.VectorCoalesced, res.VectorFallbacks)
 	}
 	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
 		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)

@@ -3,6 +3,7 @@ package analysis
 import (
 	"repro/internal/guest"
 	"repro/internal/isa"
+	"repro/internal/vm"
 )
 
 // AccessRecord is the compact event the deferred dispatch pipeline banks
@@ -76,4 +77,88 @@ func (m *Mux) OnAccessBatch(recs []AccessRecord) {
 	for _, a := range m.list {
 		DispatchBatch(a, recs)
 	}
+}
+
+// AccessGroup is one contiguous same-page run inside a drained batch:
+// recs[Start:End] all touch virtual page Page. Groups are cut strictly
+// within seq order — the vectorized pipeline never reorders records, it
+// only annotates where page locality lets a kernel hoist its shadow-chunk
+// and clock lookups. Concatenating the group ranges of a batch
+// reconstructs the batch exactly.
+type AccessGroup struct {
+	Start int
+	End   int
+	Page  uint64
+}
+
+// GroupedBatchAnalysis is the optional vectorized entry point an Analysis
+// may implement to consume a drained batch with its page-group annotation.
+// The equivalence contract is the same as BatchAnalysis's, strengthened:
+// processing recs[i] in index order through OnAccessGroups must be
+// observationally identical (findings, counters, charged cycles under the
+// default cost model) to replaying each record on its inline hook. Groups
+// are an optimization license — hoist per-page state once per group,
+// coalesce runs — never a reordering license.
+type GroupedBatchAnalysis interface {
+	OnAccessGroups(recs []AccessRecord, groups []AccessGroup)
+}
+
+// GroupByPage cuts recs into maximal contiguous same-page runs, appending
+// to dst (pass dst[:0] to reuse a scratch slice; a nil dst allocates).
+// Grouping is stable: records are never moved, so cross-page order is
+// preserved exactly and a group boundary falls wherever the page number
+// changes between adjacent records (a record's page is that of its first
+// byte; straddling accesses are grouped by their first page and handled
+// by the kernels' scalar fallback).
+func GroupByPage(recs []AccessRecord, dst []AccessGroup) []AccessGroup {
+	i := 0
+	for i < len(recs) {
+		page := vm.PageNum(recs[i].Addr)
+		j := i + 1
+		for j < len(recs) && vm.PageNum(recs[j].Addr) == page {
+			j++
+		}
+		dst = append(dst, AccessGroup{Start: i, End: j, Page: page})
+		i = j
+	}
+	return dst
+}
+
+// DispatchGroups feeds a drained batch plus its page groups to a: through
+// OnAccessGroups when a implements it, otherwise through DispatchBatch
+// (which itself falls back to per-record replay). Analyses without a
+// vectorized kernel work unchanged under vectorized dispatch.
+func DispatchGroups(a Analysis, recs []AccessRecord, groups []AccessGroup) {
+	if ga, ok := a.(GroupedBatchAnalysis); ok {
+		ga.OnAccessGroups(recs, groups)
+		return
+	}
+	DispatchBatch(a, recs)
+}
+
+// OnAccessGroups implements GroupedBatchAnalysis: the mux hands the batch
+// and its group annotation to each member in dispatch order, letting
+// vectorized members coalesce while scalar members replay record-wise.
+func (m *Mux) OnAccessGroups(recs []AccessRecord, groups []AccessGroup) {
+	for _, a := range m.list {
+		DispatchGroups(a, recs, groups)
+	}
+}
+
+// VectorStats reports what a vectorized kernel did with the records it was
+// handed: Coalesced counts records retired by a run-length tail (one
+// hoisted comparison instead of a full scalar hook), Fallbacks counts
+// records the coalescer punted to the scalar hook (multi-block accesses,
+// state transitions mid-run). Head records of runs count in neither.
+type VectorStats struct {
+	Coalesced uint64
+	Fallbacks uint64
+}
+
+// VectorStatser is implemented by analyses with a vectorized kernel so the
+// engine can surface coalescing effectiveness in its Result without the
+// counters leaking into the analysis's own findings (which must stay
+// byte-identical across dispatch modes).
+type VectorStatser interface {
+	VectorStats() VectorStats
 }

@@ -132,16 +132,19 @@ func TestDrainFallbackByteIdentical(t *testing.T) {
 	cfg := DefaultConfig(ModeAikidoFastTrack)
 	inline := runDispatch(t, prog, cfg, DispatchInline)
 
-	chaosCfg := cfg
-	chaosCfg.Chaos = mustPlan(t, "error:drain@2")
-	fallen := runDispatch(t, prog, chaosCfg, DispatchDeferred)
-	if fallen.DeferredFallbacks != 1 {
-		t.Fatalf("DeferredFallbacks = %d, want exactly 1 (one-shot trigger)", fallen.DeferredFallbacks)
+	for _, mode := range []DispatchMode{DispatchDeferred, DispatchVectorized} {
+		chaosCfg := cfg
+		chaosCfg.Chaos = mustPlan(t, "error:drain@2")
+		fallen := runDispatch(t, prog, chaosCfg, mode)
+		if fallen.DeferredFallbacks != 1 {
+			t.Fatalf("%v: DeferredFallbacks = %d, want exactly 1 (one-shot trigger)",
+				mode, fallen.DeferredFallbacks)
+		}
+		if fallen.DeferredDrains == 0 || fallen.DeferredRecords == 0 {
+			t.Fatalf("%v: fallback run never ran deferred — the equivalence is vacuous", mode)
+		}
+		requireIdentical(t, bench.Name+"/fallback/"+mode.String(), inline, fallen)
 	}
-	if fallen.DeferredDrains == 0 || fallen.DeferredRecords == 0 {
-		t.Fatal("fallback run never ran deferred — the equivalence is vacuous")
-	}
-	requireIdentical(t, bench.Name+"/fallback", inline, fallen)
 }
 
 // TestChaosEmptyPlanByteIdentical: a ruleless plan (seed only — the
@@ -154,18 +157,22 @@ func TestChaosEmptyPlanByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := Run(prog, DefaultConfig(ModeAikidoFastTrack))
-	if err != nil {
-		t.Fatal(err)
-	}
-	cfg := DefaultConfig(ModeAikidoFastTrack)
-	cfg.Chaos = &faultinject.Plan{Seed: 7}
-	armed, err := Run(prog, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(plain, armed) {
-		t.Errorf("empty chaos plan perturbed the run:\nplain: %+v\narmed: %+v", plain, armed)
+	for _, dispatch := range []DispatchMode{DispatchInline, DispatchDeferred, DispatchVectorized} {
+		cfg := DefaultConfig(ModeAikidoFastTrack)
+		cfg.Dispatch = dispatch
+		plain, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Chaos = &faultinject.Plan{Seed: 7}
+		armed, err := Run(prog, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, armed) {
+			t.Errorf("%v: empty chaos plan perturbed the run:\nplain: %+v\narmed: %+v",
+				dispatch, plain, armed)
+		}
 	}
 }
 

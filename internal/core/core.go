@@ -132,11 +132,14 @@ type Config struct {
 	MaxFindings int
 
 	// Dispatch selects how access events reach the selected analyses:
-	// synchronously per access (DispatchInline, the default) or banked in
+	// synchronously per access (DispatchInline, the default), banked in
 	// per-thread rings and replayed in batches at synchronization
-	// boundaries (DispatchDeferred). Findings and simulated counters are
-	// byte-identical either way; see DispatchDeferred for the drain
-	// points and the fallback for register-dataflow analyses.
+	// boundaries (DispatchDeferred), or additionally page-grouped and fed
+	// through vectorized batch kernels (DispatchVectorized). Findings and
+	// simulated counters are byte-identical in all three; see
+	// DispatchDeferred for the drain points and the fallback for
+	// register-dataflow analyses, and DispatchVectorized for the grouping
+	// invariant.
 	Dispatch DispatchMode
 
 	// NoMirror is an ablation: instead of redirecting shared accesses to
@@ -562,11 +565,17 @@ type Result struct {
 	// pipeline: drain batches replayed and access records banked.
 	// DeferredFallbacks counts drains that failed (injected drain-seam
 	// errors) and degraded the pipeline to inline delivery for the rest
-	// of the run. All three are 0 under inline dispatch — and the only
-	// Result fields that may differ between the two dispatch modes.
+	// of the run. DeferredGroups counts page groups cut by vectorized
+	// dispatch, and VectorCoalesced/VectorFallbacks sum what the
+	// vectorized kernels did with their records (run-length retired vs
+	// punted to the scalar hook). All six are 0 under inline dispatch —
+	// and the only Result fields that may differ between dispatch modes.
 	DeferredDrains    uint64
 	DeferredRecords   uint64
 	DeferredFallbacks uint64
+	DeferredGroups    uint64
+	VectorCoalesced   uint64
+	VectorFallbacks   uint64
 }
 
 // Run executes the assembled system to completion.
@@ -617,6 +626,14 @@ func (s *System) Run() (*Result, error) {
 		r.DeferredDrains = s.pipe.drains
 		r.DeferredRecords = s.pipe.records
 		r.DeferredFallbacks = s.pipe.fallbacks
+		r.DeferredGroups = s.pipe.groupsN
+		for _, a := range s.Analyses {
+			if vs, ok := a.(analysis.VectorStatser); ok {
+				st := vs.VectorStats()
+				r.VectorCoalesced += st.Coalesced
+				r.VectorFallbacks += st.Fallbacks
+			}
+		}
 	}
 	if len(s.Analyses) > 0 {
 		r.Findings = make(map[string]analysis.Findings, len(s.Analyses))

@@ -46,6 +46,7 @@ func (r *recordingAnalysis) OnAccessBatch(recs []analysis.AccessRecord) {
 func stripDeferredCounters(r *Result) *Result {
 	c := *r
 	c.DeferredDrains, c.DeferredRecords, c.DeferredFallbacks = 0, 0, 0
+	c.DeferredGroups, c.VectorCoalesced, c.VectorFallbacks = 0, 0, 0
 	return &c
 }
 
@@ -362,6 +363,7 @@ func TestDeferredMergeRestoresGlobalOrder(t *testing.T) {
 func TestDispatchModeParsing(t *testing.T) {
 	for arg, want := range map[string]DispatchMode{
 		"": DispatchInline, "inline": DispatchInline, "deferred": DispatchDeferred,
+		"vectorized": DispatchVectorized,
 	} {
 		got, err := ParseDispatchMode(arg)
 		if err != nil || got != want {
@@ -371,7 +373,8 @@ func TestDispatchModeParsing(t *testing.T) {
 	if _, err := ParseDispatchMode("sideways"); err == nil {
 		t.Error("unknown dispatch mode accepted")
 	}
-	if DispatchInline.String() != "inline" || DispatchDeferred.String() != "deferred" {
+	if DispatchInline.String() != "inline" || DispatchDeferred.String() != "deferred" ||
+		DispatchVectorized.String() != "vectorized" {
 		t.Error("dispatch mode names diverge from the flag spellings")
 	}
 }

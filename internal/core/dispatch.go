@@ -32,6 +32,20 @@ const (
 	// once per batch instead of once per access — which is the transition
 	// cost the BENCH_5 amortization experiment measures.
 	DispatchDeferred
+	// DispatchVectorized is deferred dispatch with batch-vectorized
+	// analysis kernels: each drained merge is additionally cut into
+	// maximal contiguous same-page groups (stable — records are never
+	// reordered, and every sync/VMA/ring-full drain boundary flushes all
+	// open groups) and handed to analyses through the grouped entry point
+	// (analysis.GroupedBatchAnalysis), which lets a kernel hoist its
+	// shadow-chunk and clock lookups once per group and run-length
+	// coalesce same-state record runs against one hoisted comparison.
+	// Findings and counters stay byte-identical to inline and to plain
+	// deferred; under the default cost model cycles are byte-identical
+	// too (kernels charge exact scalar-equivalent costs until
+	// CostModel.BatchCoalescedRecord enables vector charging — the
+	// amortization BENCH_7 measures).
+	DispatchVectorized
 )
 
 // String names the mode as the -dispatch flags spell it.
@@ -41,6 +55,8 @@ func (m DispatchMode) String() string {
 		return "inline"
 	case DispatchDeferred:
 		return "deferred"
+	case DispatchVectorized:
+		return "vectorized"
 	}
 	return "dispatch?"
 }
@@ -52,8 +68,10 @@ func ParseDispatchMode(s string) (DispatchMode, error) {
 		return DispatchInline, nil
 	case "deferred":
 		return DispatchDeferred, nil
+	case "vectorized":
+		return DispatchVectorized, nil
 	}
-	return DispatchInline, fmt.Errorf("core: unknown dispatch mode %q (want inline or deferred)", s)
+	return DispatchInline, fmt.Errorf("core: unknown dispatch mode %q (want inline, deferred or vectorized)", s)
 }
 
 // ringCap is the fixed per-thread ring capacity. A full ring forces a
@@ -87,6 +105,16 @@ type pipeline struct {
 	seq     uint64
 	scratch []analysis.AccessRecord // merge buffer, reused across drains
 
+	// vectorize routes drained batches through the grouped entry point
+	// (DispatchVectorized); groups is the page-group scratch reused across
+	// drains, and nscalar counts hosted analyses WITHOUT a vectorized
+	// kernel — they still walk records one at a time inside the batch, so
+	// the BatchPerRecord hand-off is charged only for them (grouped
+	// kernels charge their own per-record costs).
+	vectorize bool
+	groups    []analysis.AccessGroup
+	nscalar   uint64
+
 	// inj is the chaos injector's drain seam (nil without a plan), and
 	// inline the graceful-degradation latch: after a failed drain the
 	// pipeline stops banking and delivers every further access straight
@@ -94,11 +122,13 @@ type pipeline struct {
 	inj    *faultinject.Injector
 	inline bool
 
-	// drains/records/fallbacks describe pipeline behaviour
-	// (Result.DeferredDrains / DeferredRecords / DeferredFallbacks).
+	// drains/records/fallbacks/groupsN describe pipeline behaviour
+	// (Result.DeferredDrains / DeferredRecords / DeferredFallbacks /
+	// DeferredGroups).
 	drains    uint64
 	records   uint64
 	fallbacks uint64
+	groupsN   uint64
 }
 
 // newPipeline builds the deferred pipeline over the (possibly multiplexed)
@@ -223,6 +253,27 @@ func (p *pipeline) drain() {
 		return
 	}
 
+	p.drains++
+	p.records += uint64(len(out))
+	if p.vectorize {
+		// Vectorized delivery: annotate the merged batch with its stable
+		// page groups (records stay exactly where the merge put them) and
+		// hand both to the grouped entry point. The transition cost is one
+		// runtime entry per analysis per drain plus a group-open per
+		// analysis per group; the per-record hand-off is charged only for
+		// members without a grouped kernel — vectorized kernels charge
+		// their own per-record costs (scalar-equivalent under the default
+		// model, BatchCoalescedRecord under vector charging).
+		p.groups = analysis.GroupByPage(out, p.groups[:0])
+		p.groupsN += uint64(len(p.groups))
+		if c := p.nmem*(p.costs.BatchDrainBase+p.costs.BatchGroupBase*uint64(len(p.groups))) +
+			p.nscalar*p.costs.BatchPerRecord*uint64(len(out)); c > 0 {
+			p.clock.Charge(c)
+		}
+		analysis.DispatchGroups(p.an, out, p.groups)
+		return
+	}
+
 	// The batched transition cost: one runtime entry per analysis per
 	// drain plus a per-record hand-off, against inline dispatch's
 	// per-access-per-analysis clean call. Zero under the default model,
@@ -230,8 +281,6 @@ func (p *pipeline) drain() {
 	if c := p.costs.BatchDrainBase + p.costs.BatchPerRecord*uint64(len(out)); c > 0 {
 		p.clock.Charge(p.nmem * c)
 	}
-	p.drains++
-	p.records += uint64(len(out))
 	analysis.DispatchBatch(p.an, out)
 }
 
@@ -367,7 +416,7 @@ func (s *System) wrapDispatch(an analysis.Analysis) analysis.Analysis {
 		return nil
 	}
 	n := len(s.Analyses)
-	if s.Cfg.Dispatch == DispatchDeferred {
+	if s.Cfg.Dispatch == DispatchDeferred || s.Cfg.Dispatch == DispatchVectorized {
 		deferrable := true
 		for _, a := range s.Analyses {
 			if _, ok := asRetireObserver(a); ok {
@@ -378,6 +427,14 @@ func (s *System) wrapDispatch(an analysis.Analysis) analysis.Analysis {
 		if deferrable {
 			s.pipe = newPipeline(an, n, s.Clock, s.Cfg.Costs)
 			s.pipe.inj = s.inj
+			if s.Cfg.Dispatch == DispatchVectorized {
+				s.pipe.vectorize = true
+				for _, a := range s.Analyses {
+					if _, ok := a.(analysis.GroupedBatchAnalysis); !ok {
+						s.pipe.nscalar++
+					}
+				}
+			}
 			// Front registration: the drain must fire before Umbra or an
 			// analysis observes the VMA change (listeners are notified in
 			// registration order, and Umbra registered at attach time),

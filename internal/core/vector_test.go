@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// emitRandomOps appends a randomized straight-line schedule to the current
+// worker body: loads and stores of mixed sizes (including block-straddling
+// unaligned accesses) over the shared span, short same-address bursts (the
+// runs the kernels coalesce), and deadlock-free nested locking (ids are
+// only acquired in increasing order).
+func emitRandomOps(b *isa.Builder, rng *rand.Rand, base uint64, span int) {
+	sizes := []uint8{1, 2, 4, 8}
+	var held []int64
+	var lastAddr uint64
+	var lastSize uint8
+	var lastWrite bool
+	have := false
+
+	access := func(addr uint64, size uint8, write bool) {
+		b.MovImm(isa.R4, int64(addr))
+		if write {
+			b.MovImm(isa.R3, int64(rng.Intn(1000)))
+			b.StoreSized(size, isa.R4, 0, isa.R3)
+		} else {
+			b.LoadSized(size, isa.R3, isa.R4, 0)
+		}
+		lastAddr, lastSize, lastWrite, have = addr, size, write, true
+	}
+
+	n := 40 + rng.Intn(40)
+	for k := 0; k < n; k++ {
+		r := rng.Float64()
+		switch {
+		case r < 0.10 && len(held) < 2:
+			// Acquire a lock above every held id (ordering discipline: no
+			// deadlock regardless of the interleaving).
+			floor := int64(0)
+			if len(held) > 0 {
+				floor = held[len(held)-1]
+			}
+			if id := floor + 1 + int64(rng.Intn(3)); id <= 4 {
+				b.Lock(id)
+				held = append(held, id)
+			}
+		case r < 0.20 && len(held) > 0:
+			id := held[len(held)-1]
+			held = held[:len(held)-1]
+			b.Unlock(id)
+		case r < 0.50 && have:
+			// Burst: repeat the previous access 1-3 more times.
+			for reps := 1 + rng.Intn(3); reps > 0; reps-- {
+				access(lastAddr, lastSize, lastWrite)
+			}
+		default:
+			size := sizes[rng.Intn(len(sizes))]
+			// Stay inside one page (the VM rejects frame-crossing
+			// accesses); 8-byte-block straddles still occur freely.
+			page := uint64(rng.Intn(span / 4096))
+			off := uint64(rng.Intn(4096 - int(size)))
+			access(base+4096*page+off, size, rng.Float64() < 0.5)
+		}
+	}
+	for len(held) > 0 {
+		id := held[len(held)-1]
+		held = held[:len(held)-1]
+		b.Unlock(id)
+	}
+}
+
+// randomScheduleProgram builds a deterministic-but-arbitrary guest: 2-4
+// worker threads each running an independent random schedule over the same
+// two shared pages.
+func randomScheduleProgram(seed int64) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder(fmt.Sprintf("sched%d", seed))
+	shared := b.Global(2*4096, 4096)
+	handles := b.GlobalArray(4)
+	nthreads := 2 + rng.Intn(3)
+	for i := 0; i < nthreads; i++ {
+		b.MovImm(isa.R5, int64(i))
+		b.ThreadCreate(fmt.Sprintf("w%d", i), isa.R5)
+		b.StoreAbs(handles+uint64(8*i), isa.R0)
+	}
+	for i := 0; i < nthreads; i++ {
+		b.LoadAbs(isa.R9, handles+uint64(8*i))
+		b.ThreadJoin(isa.R9)
+	}
+	b.Halt()
+	for i := 0; i < nthreads; i++ {
+		b.Label(fmt.Sprintf("w%d", i))
+		emitRandomOps(b, rng, shared, 2*4096)
+		b.Halt()
+	}
+	return b.MustFinish()
+}
+
+// TestVectorizedByteIdentical is the vectorized pipeline's property test:
+// across 64 randomized guest schedules, both instrumentation modes, and
+// both analysis selections, all three dispatch modes produce byte-identical
+// Results — same cycles, same counters, same findings. The accumulated
+// coalescing totals are checked at the end so the property cannot pass
+// vacuously (schedules whose kernels never fire would prove nothing).
+func TestVectorizedByteIdentical(t *testing.T) {
+	selections := [][]string{nil, {"fasttrack", "lockset", "atomicity", "commgraph"}}
+	var totalRecords, totalGroups, totalCoalesced uint64
+	for seed := int64(0); seed < 64; seed++ {
+		prog := randomScheduleProgram(seed)
+		for _, mode := range []Mode{ModeFastTrackFull, ModeAikidoFastTrack} {
+			for _, sel := range selections {
+				cfg := DefaultConfig(mode)
+				cfg.Analyses = sel
+				label := fmt.Sprintf("seed%d/%v", seed, mode)
+				if sel != nil {
+					label += "/mux"
+				}
+				inline := runDispatch(t, prog, cfg, DispatchInline)
+				deferred := runDispatch(t, prog, cfg, DispatchDeferred)
+				vec := runDispatch(t, prog, cfg, DispatchVectorized)
+				totalRecords += vec.DeferredRecords
+				totalGroups += vec.DeferredGroups
+				totalCoalesced += vec.VectorCoalesced
+				if vec.DeferredRecords == 0 {
+					// Nothing reached the pipeline (e.g. nothing was shared
+					// in Aikido mode): all three runs must still agree.
+					for _, r := range []*Result{deferred, vec} {
+						if !reflect.DeepEqual(stripDeferredCounters(inline), stripDeferredCounters(r)) {
+							t.Errorf("%s: empty-pipeline run diverges from inline", label)
+						}
+					}
+					continue
+				}
+				requireIdentical(t, label+"/deferred", inline, deferred)
+				requireIdentical(t, label+"/vectorized", inline, vec)
+			}
+		}
+	}
+	if totalRecords == 0 || totalGroups == 0 || totalCoalesced == 0 {
+		t.Fatalf("property is vacuous: records=%d groups=%d coalesced=%d",
+			totalRecords, totalGroups, totalCoalesced)
+	}
+}
+
+// TestVectorizedDrainBoundaryOrdering pins the two orderings the vectorized
+// drain must never slip:
+//
+//  1. Sync boundaries: every banked access drains BEFORE the sync hook
+//     advances vector clocks. A lock-ordered write handoff therefore stays
+//     race-free; draining after the release's clock tick would make the
+//     second write look concurrent and invent a race inline dispatch never
+//     reports.
+//  2. Batch interior: groups are processed in seq order. Two threads racing
+//     on two variables in opposite access orders (T1 reads X then writes Y;
+//     T2 reads Y then writes X) produce race reports whose kinds and
+//     prior/current roles encode the processing order — any reordering
+//     changes the findings strings.
+func TestVectorizedDrainBoundaryOrdering(t *testing.T) {
+	// Variant 1: lock-ordered handoff, must stay race-free.
+	b := isa.NewBuilder("handoff")
+	x := b.Global(4096, 4096)
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("w1", isa.R5)
+	b.Mov(isa.R9, isa.R0)
+	b.MovImm(isa.R5, 1)
+	b.ThreadCreate("w2", isa.R5)
+	b.Mov(isa.R10, isa.R0)
+	b.ThreadJoin(isa.R9)
+	b.Mov(isa.R9, isa.R10)
+	b.ThreadJoin(isa.R9)
+	b.Halt()
+	for _, w := range []string{"w1", "w2"} {
+		b.Label(w)
+		b.Lock(1)
+		b.MovImm(isa.R3, 1)
+		b.LoopN(isa.R2, 8, func(b *isa.Builder) {
+			b.StoreAbs(x+64, isa.R3)
+		})
+		b.Unlock(1)
+		b.Halt()
+	}
+	handoff := b.MustFinish()
+
+	cfg := DefaultConfig(ModeFastTrackFull)
+	inline := runDispatch(t, handoff, cfg, DispatchInline)
+	vec := runDispatch(t, handoff, cfg, DispatchVectorized)
+	if n := len(racesOf(vec)); n != 0 {
+		t.Errorf("lock-ordered handoff reports %d races under vectorized dispatch (order slipped past a sync drain)", n)
+	}
+	requireIdentical(t, "handoff", inline, vec)
+
+	// Variant 2: symmetric cross races — the report set is order-sensitive.
+	b = isa.NewBuilder("cross")
+	g := b.Global(2*4096, 4096)
+	xAddr, yAddr := g+8, g+4096+8
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("t1", isa.R5)
+	b.Mov(isa.R9, isa.R0)
+	b.MovImm(isa.R5, 1)
+	b.ThreadCreate("t2", isa.R5)
+	b.Mov(isa.R10, isa.R0)
+	b.ThreadJoin(isa.R9)
+	b.Mov(isa.R9, isa.R10)
+	b.ThreadJoin(isa.R9)
+	b.Halt()
+	b.Label("t1")
+	b.LoadAbs(isa.R3, xAddr)
+	b.MovImm(isa.R4, 1)
+	b.StoreAbs(yAddr, isa.R4)
+	b.Halt()
+	b.Label("t2")
+	b.LoadAbs(isa.R3, yAddr)
+	b.MovImm(isa.R4, 2)
+	b.StoreAbs(xAddr, isa.R4)
+	b.Halt()
+	cross := b.MustFinish()
+
+	inline = runDispatch(t, cross, cfg, DispatchInline)
+	vec = runDispatch(t, cross, cfg, DispatchVectorized)
+	if len(racesOf(inline)) == 0 {
+		t.Fatal("cross program raced nowhere — the ordering assertion is vacuous")
+	}
+	requireIdentical(t, "cross", inline, vec)
+}
+
+// TestVectorizedRingFullSplit drives a same-block burst long enough to
+// force ring-full drains mid-run: the kernels must coalesce within each
+// batch, stay byte-identical to inline across the split, and the split
+// itself must not lose or duplicate records.
+func TestVectorizedRingFullSplit(t *testing.T) {
+	b := isa.NewBuilder("ringsplit")
+	page := b.Global(4096, 4096)
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("w", isa.R5)
+	b.Mov(isa.R9, isa.R0)
+	b.MovImm(isa.R5, 1)
+	b.ThreadCreate("w", isa.R5)
+	b.Mov(isa.R10, isa.R0)
+	b.ThreadJoin(isa.R9)
+	b.Mov(isa.R9, isa.R10)
+	b.ThreadJoin(isa.R9)
+	b.Halt()
+	b.Label("w")
+	b.Shl(isa.R4, isa.R0, 3)
+	b.MovImm(isa.R5, int64(page))
+	b.Add(isa.R4, isa.R4, isa.R5)
+	b.MovImm(isa.R3, 1)
+	b.LoopN(isa.R2, 3*ringCap, func(b *isa.Builder) {
+		b.Store(isa.R4, 0, isa.R3)
+	})
+	b.Halt()
+	prog := b.MustFinish()
+
+	cfg := DefaultConfig(ModeFastTrackFull)
+	cfg.Engine.Quantum = 100000 // one long quantum: no scheduling breaks
+	inline := runDispatch(t, prog, cfg, DispatchInline)
+	vec := runDispatch(t, prog, cfg, DispatchVectorized)
+	if vec.DeferredDrains < 3 {
+		t.Fatalf("drains = %d, want ring-full drains on a %d-access burst", vec.DeferredDrains, 3*ringCap)
+	}
+	if vec.VectorCoalesced == 0 {
+		t.Error("same-block burst coalesced nothing")
+	}
+	requireIdentical(t, "ringsplit", inline, vec)
+}
+
+// TestVectorFallbackCounted pins the kernels' escape hatch: accesses
+// straddling an 8-byte block boundary cannot be retired by a hoisted probe
+// and must be replayed through the scalar hook — visibly, via the
+// Result.VectorFallbacks counter — while staying byte-identical to inline.
+func TestVectorFallbackCounted(t *testing.T) {
+	b := isa.NewBuilder("straddle")
+	page := b.Global(4096, 4096)
+	b.MovImm(isa.R5, 0)
+	b.ThreadCreate("w", isa.R5)
+	b.Mov(isa.R9, isa.R0)
+	b.ThreadJoin(isa.R9)
+	b.Halt()
+	b.Label("w")
+	// 8-byte stores at offset 4 mod 8: every one spans two blocks.
+	b.MovImm(isa.R4, int64(page+4))
+	b.MovImm(isa.R3, 7)
+	b.LoopN(isa.R2, 20, func(b *isa.Builder) {
+		b.Store(isa.R4, 0, isa.R3)
+	})
+	b.Halt()
+	prog := b.MustFinish()
+
+	cfg := DefaultConfig(ModeFastTrackFull)
+	inline := runDispatch(t, prog, cfg, DispatchInline)
+	vec := runDispatch(t, prog, cfg, DispatchVectorized)
+	if vec.VectorFallbacks == 0 {
+		t.Error("block-straddling accesses retired without a counted scalar fallback")
+	}
+	requireIdentical(t, "straddle", inline, vec)
+}
+
+// groupedNopAnalysis consumes grouped batches without retaining anything,
+// for driving the vectorized pipeline directly.
+type groupedNopAnalysis struct {
+	nopAnalysisCore
+	groups  int
+	records int
+}
+
+func (g *groupedNopAnalysis) OnAccessBatch(recs []analysis.AccessRecord) {
+	g.records += len(recs)
+}
+
+func (g *groupedNopAnalysis) OnAccessGroups(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	g.records += len(recs)
+	g.groups += len(groups)
+}
+
+// TestVectorDrainNoAllocs is the vectorized drain's 0-alloc guard: once
+// the merge scratch and the group slice have grown to the working-set
+// size, a steady-state drain — k-way merge plus page grouping plus the
+// grouped dispatch — allocates nothing.
+func TestVectorDrainNoAllocs(t *testing.T) {
+	g := &groupedNopAnalysis{}
+	p := newPipeline(g, 1, &stats.Clock{}, stats.DefaultCosts())
+	p.vectorize = true
+	// Warm: every ring, the merge scratch, and the group slice.
+	for i := 0; i < 64; i++ {
+		p.push(2, 10, uint64(0x1000+4096*(i%8)+8*i), 8, i%2 == 0, true)
+	}
+	p.drain()
+	if g.groups == 0 {
+		t.Fatal("warmup drain produced no groups — the guard is vacuous")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			p.push(2, 10, uint64(0x1000+4096*(i%8)+8*i), 8, i%2 == 0, true)
+		}
+		p.drain()
+	}); n != 0 {
+		t.Errorf("steady-state vectorized drain allocates %.2f objects per batch, want 0", n)
+	}
+}

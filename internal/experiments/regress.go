@@ -21,7 +21,10 @@ import (
 //     baseline vs epoch demotion (BENCH_4.json);
 //   - aikido-deferred-bench/v1: geomean_cycle_speedup_x — per-access
 //     inline dispatch vs batched deferred dispatch under the
-//     transition-cost model (BENCH_5.json).
+//     transition-cost model (BENCH_5.json);
+//   - aikido-vector-bench/v1: geomean_cycle_speedup_x — scalar deferred
+//     record replay vs vectorized batch kernels under the same model
+//     (BENCH_7.json).
 type Snapshot struct {
 	Path    string
 	Schema  string
@@ -70,7 +73,8 @@ func ReadSnapshot(path string) (Snapshot, error) {
 				path, f.GeomeanFastTrack, f.GeomeanAikido)
 		}
 		s.Speedup = f.GeomeanFastTrack / f.GeomeanAikido
-	case "aikido-mux-bench/v1", "aikido-epoch-bench/v1", "aikido-deferred-bench/v1":
+	case "aikido-mux-bench/v1", "aikido-epoch-bench/v1", "aikido-deferred-bench/v1",
+		"aikido-vector-bench/v1":
 		s.Speedup = f.GeomeanSpeedup
 	default:
 		return Snapshot{}, fmt.Errorf("regress: %s: unknown schema %q", path, f.Schema)

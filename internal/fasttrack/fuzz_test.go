@@ -1,0 +1,155 @@
+package fasttrack
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// fuzzOp decodes one 4-byte chunk of fuzz input into either an access
+// record appended to the current batch or a synchronization event that
+// flushes the batch first — mirroring the pipeline invariant the kernel
+// relies on (every sync hook drains before clocks move, so epochs never
+// flip inside one batch). Addresses scatter across several pages (group
+// boundaries), sizes include 8-byte-block straddles, and some chunks
+// repeat the previous record verbatim (same-seq ties in the run search).
+type fuzzDriver struct {
+	d     *Detector
+	clock *stats.Clock
+	// deliver flushes one batch into the detector.
+	deliver func(d *Detector, recs []analysis.AccessRecord)
+	batch   []analysis.AccessRecord
+	seq     uint64
+}
+
+func (f *fuzzDriver) flush() {
+	if len(f.batch) > 0 {
+		f.deliver(f.d, f.batch)
+		f.batch = f.batch[:0]
+	}
+}
+
+func (f *fuzzDriver) run(data []byte) {
+	f.d.AddThread(4)
+	for len(data) >= 4 {
+		op, b1, b2, b3 := data[0], data[1], data[2], data[3]
+		data = data[4:]
+		tid := guest.TID(1 + b1%4)
+		switch {
+		case op%16 == 15:
+			// Sync event: flush, then move clocks.
+			f.flush()
+			lock := int64(1 + b2%3)
+			if b3%2 == 0 {
+				f.d.OnAcquire(tid, lock)
+			} else {
+				f.d.OnRelease(tid, lock)
+			}
+		case op%16 == 14 && len(f.batch) > 0:
+			// Repeat the previous record (same seq, same everything).
+			f.batch = append(f.batch, f.batch[len(f.batch)-1])
+		default:
+			addr := 0x10000 + (uint64(b2)*33+uint64(b3))%(4*4096)
+			size := uint8(1) << (b3 % 4)
+			f.seq++
+			f.batch = append(f.batch, analysis.AccessRecord{
+				Seq: f.seq, Addr: addr, PC: isa.PC(op),
+				TID: tid, Size: size, Write: b2%2 == 0, Shared: true,
+			})
+		}
+	}
+	f.flush()
+}
+
+// scalarDeliver replays a batch record-by-record through the inline hook.
+func scalarDeliver(d *Detector, recs []analysis.AccessRecord) {
+	for i := range recs {
+		r := &recs[i]
+		d.OnAccess(r.TID, r.PC, r.Addr, r.Size, r.Write)
+	}
+}
+
+// vectorDeliver cuts the batch into page groups and runs the kernel.
+func vectorDeliver(d *Detector, recs []analysis.AccessRecord) {
+	groups := analysis.GroupByPage(recs, nil)
+	d.OnAccessGroups(recs, groups)
+}
+
+// FuzzBatchCoalesce is the kernel's differential oracle: for any batch
+// stream the pipeline could legally deliver, the vectorized kernel must
+// produce exactly the races, counters, and simulated cycles of scalar
+// record-by-record replay (DefaultCosts pins cycles too: the kernel
+// charges scalar-equivalent costs when BatchCoalescedRecord is 0).
+func FuzzBatchCoalesce(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3})
+	// A same-block write run with an epoch flip in the middle.
+	f.Add([]byte{
+		0, 1, 8, 0, 14, 0, 0, 0, 14, 0, 0, 0,
+		15, 1, 0, 1, // release: tick thread 2's clock
+		0, 1, 8, 0, 14, 0, 0, 0,
+	})
+	// Two threads straddling pages and blocks.
+	f.Add([]byte{
+		1, 0, 124, 3, 2, 1, 255, 1, 3, 2, 7, 2, 14, 0, 0, 0,
+		15, 0, 1, 0, 1, 3, 124, 3, 2, 2, 255, 3,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		scalarClock, vectorClock := &stats.Clock{}, &stats.Clock{}
+		scalar := &fuzzDriver{d: New(scalarClock, stats.DefaultCosts()), deliver: scalarDeliver}
+		vector := &fuzzDriver{d: New(vectorClock, stats.DefaultCosts()), deliver: vectorDeliver}
+		scalar.run(data)
+		vector.run(data)
+		if !reflect.DeepEqual(scalar.d.Races(), vector.d.Races()) {
+			t.Errorf("races diverge:\nscalar: %v\nvector: %v", scalar.d.Races(), vector.d.Races())
+		}
+		if scalar.d.C != vector.d.C {
+			t.Errorf("counters diverge:\nscalar: %+v\nvector: %+v", scalar.d.C, vector.d.C)
+		}
+		if scalarClock.Cycles() != vectorClock.Cycles() {
+			t.Errorf("cycles diverge: scalar %d, vector %d", scalarClock.Cycles(), vectorClock.Cycles())
+		}
+	})
+}
+
+// BenchmarkBatchCoalesce measures the kernel against scalar replay on a
+// coalescing-friendly batch (same-page runs with interleaved singletons),
+// and documents the kernel's allocation-free steady state.
+func BenchmarkBatchCoalesce(b *testing.B) {
+	const n = 256
+	recs := make([]analysis.AccessRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Three-record runs on rotating blocks of one page, alternating
+		// threads every run.
+		addr := uint64(0x10000 + 8*((i/3)%64))
+		recs = append(recs, analysis.AccessRecord{
+			Seq: uint64(i), Addr: addr, PC: isa.PC(i),
+			TID: guest.TID(1 + (i/3)%2), Size: 8, Write: i%6 < 3, Shared: true,
+		})
+	}
+	groups := analysis.GroupByPage(recs, nil)
+
+	b.Run("scalar", func(b *testing.B) {
+		d := New(&stats.Clock{}, stats.DispatchCosts())
+		d.AddThread(2)
+		scalarDeliver(d, recs) // warm metadata
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			scalarDeliver(d, recs)
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		d := New(&stats.Clock{}, stats.DispatchCosts())
+		d.AddThread(2)
+		d.OnAccessGroups(recs, groups) // warm metadata
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d.OnAccessGroups(recs, groups)
+		}
+	})
+}

@@ -66,6 +66,13 @@ func newPagedVarStore() *pagedVarStore {
 }
 
 func (s *pagedVarStore) lookup(block uint64) (*varState, bool) {
+	vs := &s.chunk(block)[(block>>BlockShift)&(chunkBlocks-1)]
+	return vs, vs.fresh()
+}
+
+// chunk returns the chunk covering block, materializing it and refreshing
+// the direct-mapped cache slot.
+func (s *pagedVarStore) chunk(block uint64) *varChunk {
 	key := block >> (BlockShift + chunkBits)
 	slot := &s.cache[key&(chunkCacheSlots-1)]
 	c := slot.c
@@ -78,9 +85,22 @@ func (s *pagedVarStore) lookup(block uint64) (*varState, bool) {
 		}
 		slot.key, slot.c = key, c
 	}
-	vs := &c[(block>>BlockShift)&(chunkBlocks-1)]
-	return vs, vs.fresh()
+	return c
 }
+
+// chunkHoister is the optional varStore accessor behind the vectorized
+// kernel's per-group hoist: one chunk fetch serves every probe in a page
+// group. Only the paged store implements it; under the map reference
+// store the kernel simply skips the hoist and produces identical results
+// through per-record lookups.
+type chunkHoister interface {
+	chunkFor(block uint64) *varChunk
+}
+
+// chunkFor implements chunkHoister. Materializing here matches scalar
+// behaviour: every group delivers at least one record to this page, and
+// any record's first lookup would materialize the same chunk.
+func (s *pagedVarStore) chunkFor(block uint64) *varChunk { return s.chunk(block) }
 
 // mapVarStore is the original map-of-pointers store, kept as the reference
 // implementation for the equivalence tests.

@@ -129,6 +129,10 @@ type Detector struct {
 	MaxWarnings int
 	liveThreads int
 
+	// vec describes the vectorized batch kernel (see batch.go); kept out
+	// of Counters so findings stay byte-identical across dispatch modes.
+	vec vecStats
+
 	C Counters
 }
 
@@ -278,6 +282,13 @@ func (d *Detector) intersect(a, b *lockSet) *lockSet {
 		}
 	}
 	return d.internSet(out)
+}
+
+// warned reports whether a violation was already recorded for block (and
+// further reports on it would be suppressed).
+func (d *Detector) warned(block uint64) bool {
+	_, ok := d.seen[block]
+	return ok
 }
 
 // report records one warning per variable (Eraser reports the first

@@ -140,6 +140,22 @@ type CostModel struct {
 	// default to 0 for the same calibration reason.
 	BatchDrainBase uint64
 	BatchPerRecord uint64
+	// BatchGroupBase is the per-analysis cost of opening one page group
+	// under vectorized dispatch: hoisting the shadow-chunk pointer and
+	// epoch clock for the group's page into registers. Charged per group
+	// per analysis by the grouped drain path only.
+	BatchGroupBase uint64
+	// BatchCoalescedRecord is the cost of retiring one record by a
+	// vectorized run-length tail: the hoisted state is already in
+	// registers, so a record costs one compare-and-count instead of a
+	// full per-access hook. It doubles as the vector-charging switch:
+	// when 0 (DefaultCosts), vectorized kernels charge the exact scalar
+	// per-record costs so every byte-identity suite sees identical
+	// cycles; when nonzero (DispatchCosts), a coalesced record charges
+	// this instead of its AnalysisFast/Slow + contention share — the
+	// amortization BENCH_7 measures. Scalar-fallback records always pay
+	// full scalar freight (plus BatchPerRecord hand-off when nonzero).
+	BatchCoalescedRecord uint64
 }
 
 // DefaultCosts returns the calibrated default cost model.
@@ -196,6 +212,13 @@ func DispatchCosts() CostModel {
 	// ride a register-resident loop at a few cycles each.
 	c.BatchDrainBase = 120
 	c.BatchPerRecord = 8
+	// Vectorized-kernel terms: opening a page group costs a couple of
+	// dependent loads (chunk pointer, thread clock) and retiring a record
+	// whose state is already hoisted costs one compare + counter update —
+	// the per-element economics of an unrolled SIMD-style loop over
+	// uniform metadata.
+	c.BatchGroupBase = 24
+	c.BatchCoalescedRecord = 4
 	return c
 }
 
