@@ -8,11 +8,12 @@
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
 //	              switch|providers|detectors|muxbench|epochs|deferred|vector|
-//	              scaling|nondet|stm|crew]
+//	              parallel|scaling|nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
 //	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
-//	             [-vecjson FILE]
-//	             [-epoch] [-dispatch inline|deferred|vectorized]
+//	             [-vecjson FILE] [-paralleljson FILE]
+//	             [-epoch] [-dispatch inline|deferred|vectorized|parallel]
+//	             [-analysis-workers N]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
 //	aikido-bench -experiment chaos [-chaos PLAN] [-scale F] [-workers N]
 //	aikido-bench -compare OLD.json,NEW.json [-max-regress-pct P]
@@ -49,16 +50,25 @@
 //
 // -dispatch selects the analysis dispatch mode for every analysis-bearing
 // cell: inline clean calls per access (the default), deferred per-thread
-// rings drained in batches at synchronization boundaries, or vectorized —
+// rings drained in batches at synchronization boundaries, vectorized —
 // deferred plus page-grouped batch kernels that run-length coalesce
-// same-state records. Under the default cost model all three are
-// byte-identical — CI's 4th and 5th equivalence legs diff "-dispatch
-// deferred" and "-dispatch vectorized" reports against the inline
-// baseline to pin exactly that. The deferred experiment (and
-// -deferredjson, the BENCH_5.json source) measures the batching win under
-// the explicit transition-cost model (stats.DispatchCosts); the vector
-// experiment (and -vecjson, the BENCH_7.json source) measures what the
-// vectorized kernels recover on top of BENCH_5's deferred-scalar cells.
+// same-state records — or parallel, which additionally fans the page
+// groups of each drained batch out across -analysis-workers analysis
+// worker goroutines (page % N sharding; sync events are full barriers and
+// findings reconcile in canonical order). Under the default cost model
+// all four are byte-identical at any worker count — CI's equivalence legs
+// diff "-dispatch deferred", "-dispatch vectorized" and "-dispatch
+// parallel -analysis-workers 1/4/8" reports against the inline baseline
+// to pin exactly that. The deferred experiment (and -deferredjson, the
+// BENCH_5.json source) measures the batching win under the explicit
+// transition-cost model (stats.DispatchCosts); the vector experiment (and
+// -vecjson, the BENCH_7.json source) measures what the vectorized kernels
+// recover on top of BENCH_5's deferred-scalar cells; the parallel
+// experiment (and -paralleljson, the BENCH_8.json source) measures what
+// page-sharded fan-out at 2/4/8 workers recovers on top of BENCH_7's
+// vectorized cells (per drain: a fixed fan-out/join cost plus a
+// reconciliation term per active shard, against retiring the batch at
+// the slowest shard instead of the sum of all shards).
 //
 // -experiment chaos is the fault-isolation acceptance harness and is NOT
 // part of "all": it runs the chaos matrix (every Figure-5 model×mode cell
@@ -89,7 +99,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, parallel, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
@@ -98,8 +108,10 @@ func main() {
 	epochOut := flag.String("epochjson", "", "write the epoch re-privatization report (BENCH_4.json snapshots) to this file (\"-\" = stdout)")
 	deferredOut := flag.String("deferredjson", "", "write the deferred-dispatch amortization report (BENCH_5.json snapshots) to this file (\"-\" = stdout)")
 	vecOut := flag.String("vecjson", "", "write the batch-vectorization report (BENCH_7.json snapshots) to this file (\"-\" = stdout)")
+	parOut := flag.String("paralleljson", "", "write the parallel-analysis fan-out report (BENCH_8.json snapshots) to this file (\"-\" = stdout)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
-	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred or vectorized (CI diffs both non-inline modes against the inline baseline)")
+	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred, vectorized or parallel (CI diffs every non-inline mode against the inline baseline)")
+	analysisWorkers := flag.Int("analysis-workers", 0, "with -dispatch parallel: analysis worker goroutines per cell (<1 = 1; reports are byte-identical at any value)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
 	chaosPlan := flag.String("chaos", "", "with -experiment chaos: the fault-injection plan [seed=N;]KIND:SEAM[@COUNT];... (empty = idle-overhead identity check)")
@@ -131,7 +143,7 @@ func main() {
 	}
 	o := experiments.Options{Scale: *scale, Threads: *threads, Workers: *workers,
 		Deterministic: *det, Analyses: analysis.ParseList(*analyses), Epoch: *epoch,
-		Dispatch: dm}
+		Dispatch: dm, AnalysisWorkers: *analysisWorkers}
 	w := os.Stdout
 
 	// The chaos harness replaces the text experiments entirely (and is
@@ -162,10 +174,11 @@ func main() {
 		return f
 	}
 
-	// -json, -muxjson, -epochjson, -deferredjson and -vecjson each replace
-	// the text experiments; given together, every requested report is
-	// produced.
-	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" || *vecOut != "" {
+	// -json, -muxjson, -epochjson, -deferredjson, -vecjson and
+	// -paralleljson each replace the text experiments; given together,
+	// every requested report is produced.
+	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" ||
+		*vecOut != "" || *parOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -237,6 +250,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WriteVectorJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *parOut != "" {
+			rep, err := experiments.ParallelJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: paralleljson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*parOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteParallelJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -357,6 +385,14 @@ func main() {
 			return err
 		}
 		experiments.WriteVectorAmortization(w, rows)
+		return nil
+	})
+	run("parallel", func() error {
+		rows, err := experiments.ParallelAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteParallelAmortization(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

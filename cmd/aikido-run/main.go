@@ -6,7 +6,8 @@
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
 //	           [-analysis NAME[,NAME...]] [-max-findings N] [-epoch]
-//	           [-dispatch inline|deferred|vectorized]
+//	           [-dispatch inline|deferred|vectorized|parallel]
+//	           [-analysis-workers N]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
 //	           [-threads N] [-scale F] [-workers N] [-findings] [-list]
@@ -36,7 +37,16 @@
 // groups each drained batch by page and hands contiguous same-page runs
 // to the detectors' batch kernels, which coalesce same-epoch runs and
 // retire report-free singletons against one hoisted metadata load —
-// still byte-identical to inline under the default cost model.
+// still byte-identical to inline under the default cost model. -dispatch
+// parallel fans the page groups of each drained batch out across
+// -analysis-workers analysis worker goroutines (page % N sharding, each
+// worker owning a full replica of the selected analyses over its pages;
+// sync events are full barriers and per-worker findings reconcile in
+// canonical event order), and the report is byte-identical to inline at
+// ANY worker count — only wall-clock varies. A worker fault (see -chaos,
+// seam "worker") replays the batch inline and latches inline dispatch for
+// the rest of the run; a selection containing an analysis without shard
+// support degrades to vectorized dispatch.
 //
 // -list-analyses prints the registry catalog: canonical names, the short
 // aliases that resolve to them, and the wrapper combinator in composed
@@ -94,7 +104,8 @@ func run(args []string) int {
 	analyses := fs.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
 	maxFindings := fs.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
 	epoch := fs.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
-	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access), deferred (batched ring drains) or vectorized (batched + page-grouped kernels)")
+	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access), deferred (batched ring drains), vectorized (batched + page-grouped kernels) or parallel (page-sharded worker fan-out)")
+	analysisWorkers := fs.Int("analysis-workers", 0, "with -dispatch parallel: analysis worker goroutines (<1 = 1; output is byte-identical at any value)")
 	prov := fs.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := fs.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
 	swi := fs.String("switch", "hypercall", "context-switch interception: hypercall, segtrap, probe (§3.2.3)")
@@ -182,6 +193,7 @@ func run(args []string) int {
 		return exitBadFlags
 	}
 	cfg.Dispatch = dm
+	cfg.AnalysisWorkers = *analysisWorkers
 	cfg.Provider = pk
 	cfg.Paging = pg
 	cfg.Switch = sw
@@ -279,6 +291,10 @@ func run(args []string) int {
 	if res.DeferredGroups > 0 {
 		fmt.Printf("vector groups    %d (%d records retired in-kernel, %d scalar fallbacks)\n",
 			res.DeferredGroups, res.VectorCoalesced, res.VectorFallbacks)
+	}
+	if res.ParallelDrains > 0 {
+		fmt.Printf("parallel drains  %d (%d page-straddle splits)\n",
+			res.ParallelDrains, res.ParallelSplits)
 	}
 	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
 		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)

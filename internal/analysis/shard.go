@@ -1,0 +1,61 @@
+package analysis
+
+import "repro/internal/stats"
+
+// Sharder is the page-sharded parallel dispatch seam: an Analysis that can
+// clone itself into per-worker shard replicas and later fold their state
+// back. The parallel pipeline partitions the address space by virtual page
+// (page % workers), so a replica only ever observes accesses whose pages
+// map to its shard — its per-address shadow state is disjoint from every
+// other replica's by construction, and no locking is needed. Sync events,
+// in contrast, are broadcast to every replica (they are full barriers in
+// the parallel pipeline), so replicas keep vector clocks, held-lock sets
+// and region state identical to the primary's.
+//
+// The contract mirrors the batch seams': running a partition of the access
+// stream through shard replicas and merging must be observationally
+// identical — findings, counters, and (under the default cost model)
+// charged cycles — to running the whole stream through the primary.
+type Sharder interface {
+	// NewShard returns a fresh replica charging the given per-shard
+	// clock. Replicas store findings uncapped and tagged with the
+	// triggering record's Seq, so MergeShards can reconstruct the exact
+	// first-N set a single-threaded run would have kept under the
+	// primary's findings cap.
+	NewShard(clock *stats.Clock) Analysis
+	// MergeShards folds the replicas' shadow state, findings and
+	// access-derived counters into the primary, in canonical order
+	// (findings sorted by triggering sequence number, ties broken
+	// deterministically), then applies the primary's findings cap. After
+	// the merge the primary is in exactly the state a non-parallel run
+	// over the same event stream would have left it in, so the run can
+	// either finish (Report) or continue inline (fallback latch).
+	// Sync-derived state and counters (SyncOps, region counts, vector
+	// clocks, lock sets) are not merged: the primary observed every sync
+	// event itself.
+	MergeShards(shards []Analysis)
+}
+
+// NewShard implements Sharder for the mux: a shard replica of a mux is a
+// mux of member replicas, all charging the same per-shard clock. Only
+// valid when every member is a Sharder (the parallel dispatch ladder
+// verifies this before selecting the mode).
+func (m *Mux) NewShard(clock *stats.Clock) Analysis {
+	members := make([]Analysis, len(m.list))
+	for i, a := range m.list {
+		members[i] = a.(Sharder).NewShard(clock)
+	}
+	return NewMux(members...)
+}
+
+// MergeShards implements Sharder for the mux: member i of every shard
+// replica folds into member i of the primary.
+func (m *Mux) MergeShards(shards []Analysis) {
+	scratch := make([]Analysis, len(shards))
+	for i, a := range m.list {
+		for j, s := range shards {
+			scratch[j] = s.(*Mux).list[i]
+		}
+		a.(Sharder).MergeShards(scratch)
+	}
+}

@@ -47,6 +47,7 @@ func stripDeferredCounters(r *Result) *Result {
 	c := *r
 	c.DeferredDrains, c.DeferredRecords, c.DeferredFallbacks = 0, 0, 0
 	c.DeferredGroups, c.VectorCoalesced, c.VectorFallbacks = 0, 0, 0
+	c.ParallelDrains, c.ParallelSplits = 0, 0
 	return &c
 }
 
@@ -363,7 +364,7 @@ func TestDeferredMergeRestoresGlobalOrder(t *testing.T) {
 func TestDispatchModeParsing(t *testing.T) {
 	for arg, want := range map[string]DispatchMode{
 		"": DispatchInline, "inline": DispatchInline, "deferred": DispatchDeferred,
-		"vectorized": DispatchVectorized,
+		"vectorized": DispatchVectorized, "parallel": DispatchParallel,
 	} {
 		got, err := ParseDispatchMode(arg)
 		if err != nil || got != want {
@@ -374,7 +375,7 @@ func TestDispatchModeParsing(t *testing.T) {
 		t.Error("unknown dispatch mode accepted")
 	}
 	if DispatchInline.String() != "inline" || DispatchDeferred.String() != "deferred" ||
-		DispatchVectorized.String() != "vectorized" {
+		DispatchVectorized.String() != "vectorized" || DispatchParallel.String() != "parallel" {
 		t.Error("dispatch mode names diverge from the flag spellings")
 	}
 }

@@ -1,0 +1,281 @@
+// In-run parallel analysis: the worker pool behind DispatchParallel.
+//
+// Each worker owns one shard — a full replica of the multiplexed analysis
+// stack (analysis.Sharder) plus a private stats.Clock — and retires the
+// page groups whose page number hashes to it (page % workers). Because the
+// coordinator splits page-straddling records before grouping, the shards'
+// per-address shadow state partitions are disjoint: no two goroutines ever
+// touch the same variable, lock word or map, and the pool is clean under
+// the Go race detector with zero locks on the access path.
+//
+// Determinism argument, in three parts:
+//
+//  1. The record stream each shard sees is worker-count-independent: the
+//     batch is split and grouped identically at any N, and group → shard
+//     routing only selects WHICH replica retires a page's groups, never
+//     the order of records within them (groups stay in batch order per
+//     shard because assignment is a stable partition of the group list).
+//  2. Sync-derived state advances in lockstep: every synchronization
+//     event is a drain barrier (the coordinator joins all workers before
+//     delivering it) and is then broadcast to every replica, so vector
+//     clocks, lock regions and live-thread counts are identical across
+//     shards and to an unsharded run.
+//  3. Reconciliation is canonical: per-shard findings are sequence-tagged
+//     and MergeShards re-interleaves them in (seq, address, kind) order —
+//     the order the unsharded detector would have emitted them — before
+//     the primary's findings cap applies; counters are pure sums.
+//
+// Cycle accounting follows the ParallelDrainBase/ParallelShardJoin switch
+// on stats.CostModel: under the default model (both 0) a drain folds the
+// SUM of the per-shard clock deltas into the main clock — exactly what the
+// unsharded kernels would have charged, keeping cycles byte-identical to
+// the other dispatch modes — while under the dispatch model it charges the
+// coordination base, a join cost per shard that received groups (an idle
+// shard leaves nothing to reconcile), and the MAXIMUM per-shard delta: the
+// critical-path model whose amortization BENCH_8 measures.
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/stats"
+	"repro/internal/vm"
+)
+
+// parJob is one drain's work order for a worker: the shared (read-only)
+// split batch. The worker's group list is in wgroups[w], written by the
+// coordinator before the send — the channel send/receive pair orders both
+// against the worker's read.
+type parJob struct {
+	recs []analysis.AccessRecord
+}
+
+// parallelPool owns the shard replicas and worker goroutines of one
+// parallel-dispatch run. Workers start lazily at the first parallel drain
+// and live until stop(); every drain is fully synchronous (fan out, join,
+// fold), so between drains the pool is quiescent and the coordinator may
+// touch replica state freely (broadcasts, merge).
+type parallelPool struct {
+	pipe    *pipeline
+	sharder analysis.Sharder
+	n       int
+
+	shards  []analysis.Analysis             // replica stacks, one per worker
+	grouped []analysis.GroupedBatchAnalysis // the same replicas' kernel surface
+	clocks  []*stats.Clock                  // per-shard clocks
+	marks   []uint64                        // clock positions at the last fold
+
+	wgroups  [][]analysis.AccessGroup // per-worker group lists, reused
+	splitBuf []analysis.AccessRecord  // page-split batch, reused
+
+	started bool
+	stopped bool
+	merged  bool
+	jobs    []chan parJob
+	done    chan struct{}
+	panics  []any // worker panics, re-raised on the coordinator after join
+}
+
+// newParallelPool builds the pool and its shard replicas (workers start
+// lazily). It must run before the first sync event is delivered so the
+// replicas observe the complete broadcast stream.
+func newParallelPool(p *pipeline, sh analysis.Sharder, workers int) *parallelPool {
+	pl := &parallelPool{
+		pipe:    p,
+		sharder: sh,
+		n:       workers,
+		shards:  make([]analysis.Analysis, workers),
+		grouped: make([]analysis.GroupedBatchAnalysis, workers),
+		clocks:  make([]*stats.Clock, workers),
+		marks:   make([]uint64, workers),
+		wgroups: make([][]analysis.AccessGroup, workers),
+		jobs:    make([]chan parJob, workers),
+		done:    make(chan struct{}, workers),
+		panics:  make([]any, workers),
+	}
+	for w := 0; w < workers; w++ {
+		clock := &stats.Clock{}
+		shard := sh.NewShard(clock)
+		pl.clocks[w] = clock
+		pl.shards[w] = shard
+		pl.grouped[w] = shard.(analysis.GroupedBatchAnalysis)
+		pl.jobs[w] = make(chan parJob, 1)
+	}
+	return pl
+}
+
+// split rewrites the merged batch so no record spans a 4 KiB page
+// boundary: a straddler becomes a head clipped to its first page and an
+// adjacent continuation record (Cont) covering the remainder — same Seq,
+// PC, TID and kind, so sequence order is preserved and each half lands in
+// the group (and therefore the shard) owning its page. Accesses are at
+// most 255 bytes (Size is a uint8), so one cut always suffices. Splitting
+// is unconditional — even at one worker — which keeps the record stream,
+// group cuts and psplits counter independent of the worker count.
+func (pl *parallelPool) split(out []analysis.AccessRecord) []analysis.AccessRecord {
+	buf := pl.splitBuf[:0]
+	for i := range out {
+		r := out[i]
+		end := r.Addr + uint64(r.Size) - 1
+		if vm.PageNum(r.Addr) == vm.PageNum(end) {
+			buf = append(buf, r)
+			continue
+		}
+		pl.pipe.psplits++
+		boundary := (vm.PageNum(r.Addr) + 1) << vm.PageShift
+		head, tail := r, r
+		head.Size = uint8(boundary - r.Addr)
+		tail.Addr = boundary
+		tail.Size = uint8(end - boundary + 1)
+		tail.Cont = true
+		buf = append(buf, head, tail)
+	}
+	pl.splitBuf = buf
+	return buf
+}
+
+// dispatch fans the drained batch's page groups out to their owning
+// shards, joins every dispatched worker, re-raises any worker panic on the
+// coordinator (so the runner's containment sees one failure, not a leaked
+// goroutine), and folds the per-shard cycle deltas into the main clock.
+// The per-shard batch transition cost — one runtime entry per analysis per
+// shard drain plus a group-open per group it received — is charged to the
+// SHARD clock before fan-out so the fold model (sum or critical path)
+// prices it consistently with the kernel work.
+func (pl *parallelPool) dispatch(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	for w := range pl.wgroups {
+		pl.wgroups[w] = pl.wgroups[w][:0]
+	}
+	for _, g := range groups {
+		w := int(g.Page % uint64(pl.n))
+		pl.wgroups[w] = append(pl.wgroups[w], g)
+	}
+	pl.start()
+	costs := &pl.pipe.costs
+	active := 0
+	for w := 0; w < pl.n; w++ {
+		gs := pl.wgroups[w]
+		if len(gs) == 0 {
+			continue
+		}
+		if c := pl.pipe.nmem * (costs.BatchDrainBase + costs.BatchGroupBase*uint64(len(gs))); c > 0 {
+			pl.clocks[w].Charge(c)
+		}
+		pl.jobs[w] <- parJob{recs: recs}
+		active++
+	}
+	for ; active > 0; active-- {
+		<-pl.done
+	}
+	for w, pv := range pl.panics {
+		if pv != nil {
+			pl.panics[w] = nil
+			panic(pv)
+		}
+	}
+	pl.fold()
+}
+
+// fold lands the per-shard clock deltas accumulated since the last fold on
+// the main clock — the sum under the default cost model (byte-identical to
+// unsharded charging), the coordination-plus-critical-path price when the
+// parallel cost terms are set. See the package comment.
+func (pl *parallelPool) fold() {
+	base, join := pl.pipe.costs.ParallelDrainBase, pl.pipe.costs.ParallelShardJoin
+	if base == 0 && join == 0 {
+		var sum uint64
+		for w, c := range pl.clocks {
+			now := c.Cycles()
+			sum += now - pl.marks[w]
+			pl.marks[w] = now
+		}
+		if sum > 0 {
+			pl.pipe.clock.Charge(sum)
+		}
+		return
+	}
+	var crit, active uint64
+	for w, c := range pl.clocks {
+		if len(pl.wgroups[w]) > 0 {
+			active++
+		}
+		now := c.Cycles()
+		if d := now - pl.marks[w]; d > crit {
+			crit = d
+		}
+		pl.marks[w] = now
+	}
+	pl.pipe.clock.Charge(base + join*active + crit)
+}
+
+// broadcast delivers one synchronization event to every replica (the pool
+// is quiescent between drains, so this is plain sequential code), then
+// resets the clock marks: the replicas' sync charges duplicate work the
+// primary already charged to the main clock and must not enter a fold.
+func (pl *parallelPool) broadcast(f func(analysis.Analysis)) {
+	if pl.merged {
+		return
+	}
+	for _, sh := range pl.shards {
+		f(sh)
+	}
+	for w, c := range pl.clocks {
+		pl.marks[w] = c.Cycles()
+	}
+}
+
+// start launches the worker goroutines (lazily, at the first parallel
+// drain — runs that never drain in parallel never spawn them).
+func (pl *parallelPool) start() {
+	if pl.started {
+		return
+	}
+	pl.started = true
+	for w := 0; w < pl.n; w++ {
+		go pl.worker(w)
+	}
+}
+
+// worker is one analysis goroutine: it retires its shard's group list for
+// each drained batch, recovering panics into the coordinator's slot so
+// the join always completes and the failure surfaces on one goroutine.
+func (pl *parallelPool) worker(w int) {
+	ga := pl.grouped[w]
+	for job := range pl.jobs[w] {
+		pl.runShard(w, ga, job.recs)
+	}
+}
+
+func (pl *parallelPool) runShard(w int, ga analysis.GroupedBatchAnalysis, recs []analysis.AccessRecord) {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.panics[w] = r
+		}
+		pl.done <- struct{}{}
+	}()
+	ga.OnAccessGroups(recs, pl.wgroups[w])
+}
+
+// stop shuts the worker goroutines down. Idempotent, and safe before
+// start (the channels simply close unused).
+func (pl *parallelPool) stop() {
+	if pl.stopped {
+		return
+	}
+	pl.stopped = true
+	for _, ch := range pl.jobs {
+		close(ch)
+	}
+}
+
+// merge folds every shard replica back into the primary stack — counters
+// summed, shadow state unioned, sequence-tagged findings re-interleaved in
+// canonical order — and stops the workers. Idempotent; called at end of
+// run and by the graceful-degradation path before an inline replay.
+func (pl *parallelPool) merge() {
+	if pl.merged {
+		return
+	}
+	pl.merged = true
+	pl.stop()
+	pl.sharder.MergeShards(pl.shards)
+}

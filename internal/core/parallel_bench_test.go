@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// BenchmarkParallelDrain measures real wall-clock scaling of the parallel
+// drain path: one coordinator draining 600-record batches spread over 64
+// pages through the full four-detector mux, fanned out across 1/2/4/8
+// worker goroutines. Cycles are byte-identical at every width (the suites
+// pin that); this benchmark reports what actually varies — wall time —
+// with the host's GOMAXPROCS attached as a metric, since fan-out cannot
+// beat the cores it runs on.
+func BenchmarkParallelDrain(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			clock := &stats.Clock{}
+			env := analysis.Env{Clock: clock, Costs: stats.DefaultCosts()}
+			as, err := analysis.NewAll([]string{"fasttrack", "lockset", "atomicity", "commgraph"}, env)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := analysis.NewMux(as...)
+			p := newPipeline(m, len(as), clock, stats.DefaultCosts())
+			p.par = newParallelPool(p, m, workers)
+			defer p.stopParallel()
+			p.AddThread(4)
+			base := uint64(0x40000)
+			batch := func() {
+				for i := 0; i < 600; i++ {
+					tid := guest.TID(1 + i%4)
+					addr := base + uint64((i*29)%(64*4096))&^7
+					p.push(tid, isa.PC(100+i%50), addr, 8, i%3 == 0, true)
+				}
+				p.drain()
+			}
+			batch() // warm: rings, scratch, groups, detector metadata, goroutines
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch()
+			}
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}

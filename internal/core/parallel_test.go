@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
+
+// TestParallelByteIdentical is the tentpole property: across randomized
+// guest schedules, both instrumentation modes and both analysis
+// selections, parallel dispatch at 1, 4 and 8 workers produces Results
+// byte-identical to inline (and therefore to deferred and vectorized)
+// dispatch — same cycles, same counters, same findings — and the
+// pipeline's own parallel counters (drains, page splits) are identical at
+// every worker count.
+func TestParallelByteIdentical(t *testing.T) {
+	selections := [][]string{nil, {"fasttrack", "lockset", "atomicity", "commgraph"}}
+	var totalDrains, totalRecords uint64
+	for seed := int64(0); seed < 24; seed++ {
+		prog := randomScheduleProgram(seed)
+		for _, mode := range []Mode{ModeFastTrackFull, ModeAikidoFastTrack} {
+			for _, sel := range selections {
+				cfg := DefaultConfig(mode)
+				cfg.Analyses = sel
+				label := fmt.Sprintf("seed%d/%v", seed, mode)
+				if sel != nil {
+					label += "/mux"
+				}
+				inline := runDispatch(t, prog, cfg, DispatchInline)
+				var prev *Result
+				for _, workers := range []int{1, 4, 8} {
+					pcfg := cfg
+					pcfg.AnalysisWorkers = workers
+					par := runDispatch(t, prog, pcfg, DispatchParallel)
+					totalDrains += par.ParallelDrains
+					totalRecords += par.DeferredRecords
+					wlabel := fmt.Sprintf("%s/w%d", label, workers)
+					if par.DeferredRecords == 0 {
+						if !reflect.DeepEqual(stripDeferredCounters(inline), stripDeferredCounters(par)) {
+							t.Errorf("%s: empty-pipeline run diverges from inline", wlabel)
+						}
+					} else {
+						if par.ParallelDrains == 0 {
+							t.Fatalf("%s: records banked but no parallel drain fired", wlabel)
+						}
+						requireIdentical(t, wlabel, inline, par)
+					}
+					if prev != nil && !reflect.DeepEqual(prev, par) {
+						t.Errorf("%s: Result differs from the previous worker count (including parallel counters)", wlabel)
+					}
+					prev = par
+				}
+			}
+		}
+	}
+	if totalDrains == 0 || totalRecords == 0 {
+		t.Fatalf("property is vacuous: drains=%d records=%d", totalDrains, totalRecords)
+	}
+}
+
+// TestParallelFallsBackNonShardable: a selection with a member lacking
+// shard support (memcheck has no NewShard) must degrade one rung to
+// vectorized dispatch — grouped drains, no parallel fan-out — and stay
+// byte-identical to an explicitly vectorized run.
+func TestParallelFallsBackNonShardable(t *testing.T) {
+	prog := randomScheduleProgram(1)
+	cfg := DefaultConfig(ModeFastTrackFull)
+	cfg.Analyses = []string{"fasttrack", "memcheck"}
+	cfg.AnalysisWorkers = 4
+	par := runDispatch(t, prog, cfg, DispatchParallel)
+	if par.ParallelDrains != 0 || par.ParallelSplits != 0 {
+		t.Fatalf("non-shardable selection fanned out anyway: drains=%d splits=%d",
+			par.ParallelDrains, par.ParallelSplits)
+	}
+	if par.DeferredGroups == 0 {
+		t.Fatal("fallback run cut no page groups — it did not land on vectorized dispatch")
+	}
+	vec := runDispatch(t, prog, cfg, DispatchVectorized)
+	if !reflect.DeepEqual(par, vec) {
+		t.Error("parallel->vectorized fallback diverges from an explicit vectorized run")
+	}
+}
+
+// newDetectorPipe builds a pipeline over a fresh four-detector mux for
+// driving dispatch directly (no guest), optionally with a parallel pool.
+func newDetectorPipe(t *testing.T, workers int) (*pipeline, []analysis.Analysis, *stats.Clock) {
+	t.Helper()
+	clock := &stats.Clock{}
+	env := analysis.Env{Clock: clock, Costs: stats.DefaultCosts()}
+	as, err := analysis.NewAll([]string{"fasttrack", "lockset", "atomicity", "commgraph"}, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := analysis.NewMux(as...)
+	p := newPipeline(m, len(as), clock, stats.DefaultCosts())
+	if workers > 0 {
+		p.par = newParallelPool(p, m, workers)
+	}
+	return p, as, clock
+}
+
+// drivePipe pushes a deterministic interleaved access stream — including
+// page-straddling records at 4 KiB boundaries, which real guests cannot
+// emit (the VM rejects frame-crossing accesses) but direct pipeline
+// clients can — with periodic sync drains and racy overlap across three
+// threads.
+func drivePipe(p *pipeline) {
+	p.AddThread(1)
+	p.AddThread(1)
+	p.AddThread(1)
+	base := uint64(0x40000)
+	for i := 0; i < 600; i++ {
+		tid := guest.TID(1 + i%3)
+		addr := base + uint64((i*37)%(4*4096))
+		size := uint8(8)
+		if i%7 == 0 {
+			// Straddle the boundary between two of the four pages.
+			addr = base + uint64(((i/7)%3)*4096) + 4092
+		}
+		p.push(tid, isa.PC(100+i), addr, size, i%2 == 0, true)
+		if i%80 == 79 {
+			p.OnAcquire(tid, 1)
+			p.OnRelease(tid, 1)
+		}
+	}
+	p.OnExit(3)
+	p.AddThread(-1)
+}
+
+// TestParallelStraddleSplitByteIdentical pins the page-boundary split: a
+// record spanning two pages is cut into a head and a Cont continuation
+// routed to (possibly) different shards, and findings, counters and
+// cycles still match a scalar deferred run of the same stream at every
+// worker count. Scalar deferred dispatch is itself pinned byte-identical
+// to inline by the other suites, so it serves as the reference here.
+func TestParallelStraddleSplitByteIdentical(t *testing.T) {
+	ref, refAs, refClock := newDetectorPipe(t, 0)
+	drivePipe(ref)
+	ref.finalize()
+
+	for _, workers := range []int{1, 2, 4} {
+		par, parAs, parClock := newDetectorPipe(t, workers)
+		drivePipe(par)
+		par.finalize()
+		if par.psplits == 0 {
+			t.Fatalf("w%d: no page-straddling record was split — the test is vacuous", workers)
+		}
+		if parClock.Cycles() != refClock.Cycles() {
+			t.Errorf("w%d: cycles diverge: parallel %d, scalar %d", workers, parClock.Cycles(), refClock.Cycles())
+		}
+		anyFindings := false
+		for i, a := range refAs {
+			fr, fp := a.Report(), parAs[i].Report()
+			if fr.Len() > 0 {
+				anyFindings = true
+			}
+			if !reflect.DeepEqual(fr.Strings(), fp.Strings()) {
+				t.Errorf("w%d/%s: findings diverge:\nscalar:   %v\nparallel: %v",
+					workers, a.Name(), fr.Strings(), fp.Strings())
+			}
+			if fr.Summary() != fp.Summary() {
+				t.Errorf("w%d/%s: counters diverge:\nscalar:   %s\nparallel: %s",
+					workers, a.Name(), fr.Summary(), fp.Summary())
+			}
+		}
+		if !anyFindings {
+			t.Fatal("reference stream produced no findings — the reconciliation order is unexercised")
+		}
+	}
+}
+
+// shardedNopAnalysis is a groupedNopAnalysis that also supports parallel
+// sharding, for driving the pool without detector work.
+type shardedNopAnalysis struct {
+	groupedNopAnalysis
+}
+
+func (s *shardedNopAnalysis) NewShard(clock *stats.Clock) analysis.Analysis {
+	return &shardedNopAnalysis{}
+}
+
+func (s *shardedNopAnalysis) MergeShards(shards []analysis.Analysis) {}
+
+// TestParallelDrainNoAllocs is the parallel drain's 0-alloc guard: once
+// the merge scratch, split buffer, group slice and per-worker group lists
+// have grown to the working-set size (and the workers are running), a
+// steady-state drain — merge, split, group, fan out, join, fold —
+// allocates nothing on the coordinator.
+func TestParallelDrainNoAllocs(t *testing.T) {
+	g := &shardedNopAnalysis{}
+	p := newPipeline(g, 1, &stats.Clock{}, stats.DefaultCosts())
+	p.par = newParallelPool(p, g, 4)
+	defer p.stopParallel()
+	batch := func() {
+		for i := 0; i < 64; i++ {
+			addr := uint64(0x1000 + 4096*(i%8) + 8*i)
+			if i%16 == 0 {
+				addr = uint64(0x1000 + 4096*(i%8) + 4092) // page straddler
+			}
+			p.push(2, 10, addr, 8, i%2 == 0, true)
+		}
+		p.drain()
+	}
+	batch() // warm: rings, scratch, split buffer, groups, worker lists, goroutines
+	if p.pdrains == 0 || p.psplits == 0 {
+		t.Fatalf("warmup drain inactive: pdrains=%d psplits=%d", p.pdrains, p.psplits)
+	}
+	if n := testing.AllocsPerRun(100, batch); n != 0 {
+		t.Errorf("steady-state parallel drain allocates %.2f objects per batch, want 0", n)
+	}
+}
+
+// TestParallelWorkerPanicResurfaces: a panic inside a worker goroutine is
+// recovered there (so the join always completes and no goroutine leaks)
+// and re-raised on the coordinator, where the runner's containment can
+// see it — the same unwinding path as any inline analysis panic.
+func TestParallelWorkerPanicResurfaces(t *testing.T) {
+	g := &panickyShardAnalysis{}
+	p := newPipeline(g, 1, &stats.Clock{}, stats.DefaultCosts())
+	p.par = newParallelPool(p, g, 2)
+	defer p.stopParallel()
+	p.push(2, 10, 0x1000, 8, true, true)
+	defer func() {
+		r := recover()
+		if r != "shard kernel exploded" {
+			t.Errorf("coordinator panic = %v, want the worker's panic value", r)
+		}
+	}()
+	p.drain()
+	t.Error("worker panic did not resurface on the coordinator")
+}
+
+// panickyShardAnalysis's shards panic on their first grouped batch.
+type panickyShardAnalysis struct {
+	shardedNopAnalysis
+}
+
+type panickyShard struct {
+	shardedNopAnalysis
+}
+
+func (s *panickyShard) OnAccessGroups(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	panic("shard kernel exploded")
+}
+
+func (s *panickyShardAnalysis) NewShard(clock *stats.Clock) analysis.Analysis {
+	return &panickyShard{}
+}

@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/parsec"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -61,28 +60,26 @@ var deferredAnalysisSet = []string{"fasttrack", "lockset", "atomicity", "commgra
 // headline number and the BENCH_5.json snapshot.
 func DeferredAmortization(o Options) ([]DeferredRow, error) {
 	o = o.normalize()
-	benches := parsec.All()
-	costs := stats.DispatchCosts()
+	units := o.amortUnits()
+	inline := core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses(deferredAnalysisSet...)
+	inline.Costs = stats.DispatchCosts()
+	deferred := inline
+	deferred.Dispatch = core.DispatchDeferred
 	var specs []runner.Spec
-	for _, b := range benches {
-		bb := o.apply(b)
-		inline := core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses(deferredAnalysisSet...)
-		inline.Costs = costs
-		deferred := inline
-		deferred.Dispatch = core.DispatchDeferred
+	for _, u := range units {
 		specs = append(specs,
-			cell(bb, "inline", inline),
-			cell(bb, "deferred", deferred))
+			u.spec("inline", inline),
+			u.spec("deferred", deferred))
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []DeferredRow
-	for i, b := range benches {
+	for i, u := range units {
 		in, de := cells[2*i].Res, cells[2*i+1].Res
 		row := DeferredRow{
-			Name:              b.Name,
+			Name:              u.name,
 			Analyses:          deferredAnalysisSet,
 			InlineCycles:      in.Cycles,
 			DeferredCycles:    de.Cycles,

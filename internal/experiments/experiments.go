@@ -55,13 +55,19 @@ type Options struct {
 	// phased/migratory suite regardless of this flag.
 	Epoch bool
 	// Dispatch selects the analysis dispatch mode for every
-	// analysis-bearing cell: inline (the default) or deferred per-thread
-	// rings with batched drains. Under the default cost model the two are
-	// byte-identical — CI's 4th equivalence leg diffs a -dispatch
-	// deferred report against the inline baseline to pin exactly that.
-	// The deferred experiment measures the batching win under the
-	// transition-cost model regardless of this flag.
+	// analysis-bearing cell: inline (the default), deferred per-thread
+	// rings with batched drains, vectorized page-grouped kernels, or
+	// parallel page-sharded fan-out. Under the default cost model all four
+	// are byte-identical — CI's equivalence legs diff each non-inline
+	// report against the inline baseline to pin exactly that. The
+	// deferred/vector/parallel experiments measure their respective wins
+	// under the transition-cost model regardless of this flag.
 	Dispatch core.DispatchMode
+	// AnalysisWorkers is the parallel-dispatch worker count for every
+	// analysis-bearing cell (ignored by the other dispatch modes; <1
+	// means 1). Reports are byte-identical at any value — CI diffs
+	// -analysis-workers 1, 4 and 8 against the inline baseline.
+	AnalysisWorkers int
 }
 
 // DefaultOptions is the full-size harness configuration.
@@ -126,6 +132,7 @@ func (o Options) modeCells(b parsec.Benchmark) []runner.Spec {
 		if m.mode != core.ModeNative {
 			cfg.Analyses = o.Analyses
 			cfg.Dispatch = o.Dispatch
+			cfg.AnalysisWorkers = o.AnalysisWorkers
 		}
 		if o.Epoch && m.mode == core.ModeAikidoFastTrack {
 			cfg.Epoch = o.epochPolicy()
@@ -140,6 +147,7 @@ func (o Options) modeCells(b parsec.Benchmark) []runner.Spec {
 func (o Options) analysisCell(mode core.Mode) core.Config {
 	cfg := core.DefaultConfig(mode)
 	cfg.Dispatch = o.Dispatch
+	cfg.AnalysisWorkers = o.AnalysisWorkers
 	return cfg
 }
 

@@ -1,0 +1,249 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/parsec"
+	"repro/internal/runner"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// zipfSuite is the Zipf-skewed sharing matrix the dispatch amortization
+// experiments append to the PARSEC models: the same false-sharing slot
+// layout at two points on the skew dial. The uniform row (skew 0) spreads
+// accesses evenly over the pages — the friendliest shape for page-sharded
+// fan-out; the hot row (skew 1.2) concentrates roughly half of all
+// accesses onto one page, serializing that page's shard — BENCH_8's
+// load-imbalance row, and a long-run stress for the vectorized kernels'
+// group cutting.
+func zipfSuite(o Options) []epochCase {
+	iters := func(n int) int {
+		v := int(float64(n) * o.Scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	z := func(name string, skew float64) workload.ZipfSpec {
+		return workload.ZipfSpec{
+			Name: name, Threads: 8, Iters: iters(300), Pages: 16,
+			OpsPerIter: 8, AluOps: 4, Skew: skew,
+		}
+	}
+	return []epochCase{
+		{"zipf-uniform", z("zipf-uniform", 0)},
+		{"zipf-hot", z("zipf-hot", 1.2)},
+	}
+}
+
+// amortUnit is one row of a dispatch-amortization matrix: a named
+// workload that can mint runner cells for any config — either a PARSEC
+// benchmark model or a generated workload source.
+type amortUnit struct {
+	name string
+	spec func(label string, cfg core.Config) runner.Spec
+}
+
+// amortUnits is the workload set the deferred, vector and parallel
+// amortization experiments share: every PARSEC model plus the Zipf-skew
+// pair, so each snapshot carries both the paper's models and the
+// page-locality extremes the dispatch machinery is sensitive to.
+func (o Options) amortUnits() []amortUnit {
+	var units []amortUnit
+	for _, b := range parsec.All() {
+		bb := o.apply(b)
+		units = append(units, amortUnit{name: b.Name,
+			spec: func(label string, cfg core.Config) runner.Spec {
+				return cell(bb, label, cfg)
+			}})
+	}
+	for _, z := range zipfSuite(o) {
+		units = append(units, amortUnit{name: z.name,
+			spec: func(label string, cfg core.Config) runner.Spec {
+				return runner.Spec{Label: z.name + "/" + label, Source: z.src, Config: cfg}
+			}})
+	}
+	return units
+}
+
+// parallelWorkerCounts are BENCH_8's fan-out widths. One worker is
+// deliberately absent: at N=1 the critical-path fold degenerates to the
+// whole drain on one shard (max == sum), so the row can only measure the
+// coordination overhead, never a win — the equivalence CI legs cover
+// N=1's byte-identity instead.
+var parallelWorkerCounts = []int{2, 4, 8}
+
+// ParallelRow is one (workload, worker-count) parallel-analysis
+// measurement: the same analysis-heavy cell (full instrumentation hosting
+// the four-way mux) run with vectorized dispatch — BENCH_7's winning
+// configuration — and with page-sharded parallel fan-out at Workers
+// analysis workers, both under the transition-cost model
+// (stats.DispatchCosts).
+type ParallelRow struct {
+	Name     string   `json:"name"`
+	Analyses []string `json:"analyses"`
+	Workers  int      `json:"workers"`
+	// VectorCycles charges every shard's kernel work on one clock (the
+	// sum); ParallelCycles charges ParallelDrainBase + ParallelShardJoin
+	// per active shard + the slowest shard's delta per drain (the
+	// critical path). Their ratio is the modeled fan-out win.
+	VectorCycles   uint64  `json:"vector_cycles"`
+	ParallelCycles uint64  `json:"parallel_cycles"`
+	CycleSpeedup   float64 `json:"cycle_speedup_x"`
+	// Drains/Records/Groups describe the parallel run's pipeline;
+	// GroupsPerDrain is the fan-out width the sharding has to work with.
+	Drains         uint64  `json:"parallel_drains"`
+	Records        uint64  `json:"records"`
+	Groups         uint64  `json:"groups"`
+	GroupsPerDrain float64 `json:"groups_per_drain"`
+	// FindingsIdentical reports whether every analysis rendered the same
+	// findings and work counters in both runs — sharding must change
+	// where analysis work happens, never what it observes.
+	FindingsIdentical bool `json:"findings_identical"`
+	// Wall-clock per cell (zeroed by -deterministic).
+	VectorWallNS   int64 `json:"vector_wall_ns"`
+	ParallelWallNS int64 `json:"parallel_wall_ns"`
+}
+
+// ParallelAmortization measures, per workload and fan-out width, what
+// page-sharded parallel analysis saves over single-threaded vectorized
+// dispatch. Both cells run under stats.DispatchCosts — under the default
+// model the two modes are byte-identical by construction (CI pins this),
+// so the experiment turns the parallel terms on to price the trade
+// explicitly: each drain pays a fixed fan-out/join cost plus a
+// reconciliation term per active shard, and in exchange retires the batch
+// at the slowest shard's cost instead of the sum of all shards. The speedup composes
+// with BENCH_7's vectorization geomean, and the zipf-hot row bounds it:
+// a page holding ~half the records serializes its shard. This is the
+// parallel pipeline's headline number and the BENCH_8.json snapshot.
+func ParallelAmortization(o Options) ([]ParallelRow, error) {
+	o = o.normalize()
+	units := o.amortUnits()
+	costs := stats.DispatchCosts()
+	vecCfg := core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses(deferredAnalysisSet...)
+	vecCfg.Costs = costs
+	vecCfg.Dispatch = core.DispatchVectorized
+	stride := 1 + len(parallelWorkerCounts)
+	var specs []runner.Spec
+	for _, u := range units {
+		specs = append(specs, u.spec("vectorized", vecCfg))
+		for _, workers := range parallelWorkerCounts {
+			parCfg := vecCfg
+			parCfg.Dispatch = core.DispatchParallel
+			parCfg.AnalysisWorkers = workers
+			specs = append(specs, u.spec(fmt.Sprintf("parallel-w%d", workers), parCfg))
+		}
+	}
+	cells, err := o.sweep(specs)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ParallelRow
+	for i, u := range units {
+		vec := cells[stride*i]
+		for j, workers := range parallelWorkerCounts {
+			par := cells[stride*i+1+j]
+			row := ParallelRow{
+				Name:              u.name,
+				Analyses:          deferredAnalysisSet,
+				Workers:           workers,
+				VectorCycles:      vec.Res.Cycles,
+				ParallelCycles:    par.Res.Cycles,
+				CycleSpeedup:      stats.Ratio(vec.Res.Cycles, par.Res.Cycles),
+				Drains:            par.Res.ParallelDrains,
+				Records:           par.Res.DeferredRecords,
+				Groups:            par.Res.DeferredGroups,
+				FindingsIdentical: findingsIdentical(vec.Res, par.Res),
+				VectorWallNS:      vec.Wall.Nanoseconds(),
+				ParallelWallNS:    par.Wall.Nanoseconds(),
+			}
+			if row.Drains > 0 {
+				row.GroupsPerDrain = float64(row.Groups) / float64(row.Drains)
+			}
+			if o.Deterministic {
+				row.VectorWallNS, row.ParallelWallNS = 0, 0
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteParallelAmortization renders the fan-out table.
+func WriteParallelAmortization(w io.Writer, rows []ParallelRow) {
+	n := 0
+	if len(rows) > 0 {
+		n = len(rows[0].Analyses)
+	}
+	fmt.Fprintf(w, "Parallel analysis: vectorized single-drain vs page-sharded fan-out (%d analyses,\n", n)
+	fmt.Fprintln(w, "transition-cost model; findings must match in every row)")
+	fmt.Fprintf(w, "%-15s %8s %16s %16s %9s %10s %11s %9s\n",
+		"workload", "workers", "vector cycles", "parallel cycles", "speedup", "drains", "grp/drain", "findings")
+	var speedups []float64
+	for _, r := range rows {
+		verdict := "match"
+		if !r.FindingsIdentical {
+			verdict = "DIVERGE"
+		}
+		fmt.Fprintf(w, "%-15s %8d %16d %16d %8.2fx %10d %11.1f %9s\n",
+			r.Name, r.Workers, r.VectorCycles, r.ParallelCycles, r.CycleSpeedup,
+			r.Drains, r.GroupsPerDrain, verdict)
+		speedups = append(speedups, r.CycleSpeedup)
+	}
+	fmt.Fprintf(w, "geomean cycle speedup: %.2fx (each drain retires at the slowest shard, not the sum)\n",
+		stats.Geomean(speedups))
+}
+
+// ParallelReport is the BENCH_8.json document: the page-sharded parallel
+// analysis snapshot over BENCH_7's vectorized baseline.
+type ParallelReport struct {
+	Schema string  `json:"schema"` // "aikido-parallel-bench/v1"
+	Scale  float64 `json:"scale"`
+	// Costs records the transition-cost model the rows ran under.
+	Costs struct {
+		BatchDrainBase       uint64 `json:"batch_drain_base"`
+		BatchGroupBase       uint64 `json:"batch_group_base"`
+		BatchCoalescedRecord uint64 `json:"batch_coalesced_record"`
+		ParallelDrainBase    uint64 `json:"parallel_drain_base"`
+		ParallelShardJoin    uint64 `json:"parallel_shard_join"`
+	} `json:"dispatch_costs"`
+	Geomean           float64       `json:"geomean_cycle_speedup_x"`
+	FindingsIdentical bool          `json:"findings_identical"`
+	Rows              []ParallelRow `json:"rows"`
+}
+
+// ParallelJSON runs the fan-out experiment and packages it as a
+// machine-readable report.
+func ParallelJSON(o Options) (*ParallelReport, error) {
+	rows, err := ParallelAmortization(o)
+	if err != nil {
+		return nil, err
+	}
+	o = o.normalize()
+	rep := &ParallelReport{Schema: "aikido-parallel-bench/v1", Scale: o.Scale, Rows: rows}
+	costs := stats.DispatchCosts()
+	rep.Costs.BatchDrainBase = costs.BatchDrainBase
+	rep.Costs.BatchGroupBase = costs.BatchGroupBase
+	rep.Costs.BatchCoalescedRecord = costs.BatchCoalescedRecord
+	rep.Costs.ParallelDrainBase = costs.ParallelDrainBase
+	rep.Costs.ParallelShardJoin = costs.ParallelShardJoin
+	rep.FindingsIdentical = true
+	var speedups []float64
+	for _, r := range rows {
+		speedups = append(speedups, r.CycleSpeedup)
+		rep.FindingsIdentical = rep.FindingsIdentical && r.FindingsIdentical
+	}
+	rep.Geomean = stats.Geomean(speedups)
+	return rep, nil
+}
+
+// WriteParallelJSON renders the report as indented JSON.
+func WriteParallelJSON(w io.Writer, rep *ParallelReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -24,7 +24,10 @@ import (
 //     transition-cost model (BENCH_5.json);
 //   - aikido-vector-bench/v1: geomean_cycle_speedup_x — scalar deferred
 //     record replay vs vectorized batch kernels under the same model
-//     (BENCH_7.json).
+//     (BENCH_7.json);
+//   - aikido-parallel-bench/v1: geomean_cycle_speedup_x — single-threaded
+//     vectorized dispatch vs page-sharded parallel fan-out under the same
+//     model (BENCH_8.json).
 type Snapshot struct {
 	Path    string
 	Schema  string
@@ -74,7 +77,7 @@ func ReadSnapshot(path string) (Snapshot, error) {
 		}
 		s.Speedup = f.GeomeanFastTrack / f.GeomeanAikido
 	case "aikido-mux-bench/v1", "aikido-epoch-bench/v1", "aikido-deferred-bench/v1",
-		"aikido-vector-bench/v1":
+		"aikido-vector-bench/v1", "aikido-parallel-bench/v1":
 		s.Speedup = f.GeomeanSpeedup
 	default:
 		return Snapshot{}, fmt.Errorf("regress: %s: unknown schema %q", path, f.Schema)

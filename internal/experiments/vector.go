@@ -6,7 +6,6 @@ import (
 	"io"
 
 	"repro/internal/core"
-	"repro/internal/parsec"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -61,29 +60,27 @@ type VectorRow struct {
 // vectorized pipeline's headline number and the BENCH_7.json snapshot.
 func VectorAmortization(o Options) ([]VectorRow, error) {
 	o = o.normalize()
-	benches := parsec.All()
-	costs := stats.DispatchCosts()
+	units := o.amortUnits()
+	scalar := core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses(deferredAnalysisSet...)
+	scalar.Costs = stats.DispatchCosts()
+	scalar.Dispatch = core.DispatchDeferred
+	vector := scalar
+	vector.Dispatch = core.DispatchVectorized
 	var specs []runner.Spec
-	for _, b := range benches {
-		bb := o.apply(b)
-		scalar := core.DefaultConfig(core.ModeFastTrackFull).WithAnalyses(deferredAnalysisSet...)
-		scalar.Costs = costs
-		scalar.Dispatch = core.DispatchDeferred
-		vector := scalar
-		vector.Dispatch = core.DispatchVectorized
+	for _, u := range units {
 		specs = append(specs,
-			cell(bb, "deferred", scalar),
-			cell(bb, "vectorized", vector))
+			u.spec("deferred", scalar),
+			u.spec("vectorized", vector))
 	}
 	cells, err := o.sweep(specs)
 	if err != nil {
 		return nil, err
 	}
 	var rows []VectorRow
-	for i, b := range benches {
+	for i, u := range units {
 		sc, vec := cells[2*i].Res, cells[2*i+1].Res
 		row := VectorRow{
-			Name:              b.Name,
+			Name:              u.name,
 			Analyses:          deferredAnalysisSet,
 			ScalarCycles:      sc.Cycles,
 			VectorCycles:      vec.Cycles,

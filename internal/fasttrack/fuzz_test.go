@@ -97,22 +97,26 @@ func FuzzBatchCoalesce(f *testing.F) {
 		1, 0, 124, 3, 2, 1, 255, 1, 3, 2, 7, 2, 14, 0, 0, 0,
 		15, 0, 1, 0, 1, 3, 124, 3, 2, 2, 255, 3,
 	})
-	f.Fuzz(func(t *testing.T, data []byte) {
-		scalarClock, vectorClock := &stats.Clock{}, &stats.Clock{}
-		scalar := &fuzzDriver{d: New(scalarClock, stats.DefaultCosts()), deliver: scalarDeliver}
-		vector := &fuzzDriver{d: New(vectorClock, stats.DefaultCosts()), deliver: vectorDeliver}
-		scalar.run(data)
-		vector.run(data)
-		if !reflect.DeepEqual(scalar.d.Races(), vector.d.Races()) {
-			t.Errorf("races diverge:\nscalar: %v\nvector: %v", scalar.d.Races(), vector.d.Races())
-		}
-		if scalar.d.C != vector.d.C {
-			t.Errorf("counters diverge:\nscalar: %+v\nvector: %+v", scalar.d.C, vector.d.C)
-		}
-		if scalarClock.Cycles() != vectorClock.Cycles() {
-			t.Errorf("cycles diverge: scalar %d, vector %d", scalarClock.Cycles(), vectorClock.Cycles())
-		}
-	})
+	f.Fuzz(coalesceOracle)
+}
+
+// coalesceOracle is the differential check shared by the fuzz target and
+// the blocking corpus-replay test.
+func coalesceOracle(t *testing.T, data []byte) {
+	scalarClock, vectorClock := &stats.Clock{}, &stats.Clock{}
+	scalar := &fuzzDriver{d: New(scalarClock, stats.DefaultCosts()), deliver: scalarDeliver}
+	vector := &fuzzDriver{d: New(vectorClock, stats.DefaultCosts()), deliver: vectorDeliver}
+	scalar.run(data)
+	vector.run(data)
+	if !reflect.DeepEqual(scalar.d.Races(), vector.d.Races()) {
+		t.Errorf("races diverge:\nscalar: %v\nvector: %v", scalar.d.Races(), vector.d.Races())
+	}
+	if scalar.d.C != vector.d.C {
+		t.Errorf("counters diverge:\nscalar: %+v\nvector: %+v", scalar.d.C, vector.d.C)
+	}
+	if scalarClock.Cycles() != vectorClock.Cycles() {
+		t.Errorf("cycles diverge: scalar %d, vector %d", scalarClock.Cycles(), vectorClock.Cycles())
+	}
 }
 
 // BenchmarkBatchCoalesce measures the kernel against scalar replay on a

@@ -1,0 +1,100 @@
+// Page-sharded parallel support for the FastTrack detector.
+//
+// The parallel dispatch pipeline partitions drained batches by virtual
+// page across N worker goroutines, each owning a full Detector replica.
+// Because a replica only ever observes pages of its own shard, its
+// variable metadata is disjoint from every other replica's; sync events
+// are broadcast to all replicas (they are full barriers in the pipeline),
+// so thread vector clocks, lock clocks and barrier state evolve
+// identically everywhere. MergeShards folds everything back into the
+// primary so the run can finish — or continue inline after a worker
+// fault — exactly as if a single detector had seen the whole stream.
+package fasttrack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/stats"
+)
+
+// NewShard implements analysis.Sharder: a fresh replica charging the
+// per-shard clock. Replicas store races uncapped and tagged with the
+// triggering record's sequence number, so the merge can reconstruct the
+// exact first-N set the primary's cap would have kept in scalar order.
+func (d *Detector) NewShard(clock *stats.Clock) analysis.Analysis {
+	s := New(clock, d.costs)
+	s.shard = true
+	s.MaxRaces = math.MaxInt
+	return s
+}
+
+// MergeShards implements analysis.Sharder: fold the replicas' variable
+// metadata, access-derived counters, vector stats and tagged races into
+// the primary. Races are replayed in (seq, block, kind) order — the exact
+// order a single-threaded run reports them in (the per-block loop of one
+// access ascends block addresses, and one block reports write-write
+// before read-write) — then the primary's cap applies. Sync-derived state
+// (thread/lock/barrier clocks, SyncOps) is not merged: the primary
+// observed every sync event itself.
+func (d *Detector) MergeShards(shards []analysis.Analysis) {
+	type taggedRace struct {
+		seq uint64
+		r   Race
+	}
+	var all []taggedRace
+	for _, a := range shards {
+		s := a.(*Detector)
+		d.C.Reads += s.C.Reads
+		d.C.Writes += s.C.Writes
+		d.C.SameEpoch += s.C.SameEpoch
+		d.C.OrderedEpoch += s.C.OrderedEpoch
+		d.C.SlowPath += s.C.SlowPath
+		d.C.ReadVCsAllocated += s.C.ReadVCsAllocated
+		d.C.Variables += s.C.Variables
+		d.vecCoalesced += s.vecCoalesced
+		d.vecFallbacks += s.vecFallbacks
+		for k := range s.seen {
+			d.seen[k] = struct{}{}
+		}
+		for i, r := range s.races {
+			all = append(all, taggedRace{seq: s.raceSeqs[i], r: r})
+		}
+		// Move the replica's variable metadata. Replica cells re-intern
+		// their read vector clocks into the primary's arena; shards own
+		// disjoint pages, so no primary cell is written twice.
+		ps := s.vars.(*pagedVarStore)
+		for key, c := range ps.chunks {
+			base := key << (BlockShift + chunkBits)
+			for ci := range c {
+				cs := &c[ci]
+				if cs.fresh() {
+					continue
+				}
+				block := base + uint64(ci)<<BlockShift
+				pv, _ := d.vars.lookup(block)
+				*pv = *cs
+				if cs.rvcIdx != 0 {
+					pv.rvcIdx = d.newRvc(s.rvcs[cs.rvcIdx])
+				}
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].seq != all[j].seq {
+			return all[i].seq < all[j].seq
+		}
+		if all[i].r.Addr != all[j].r.Addr {
+			return all[i].r.Addr < all[j].r.Addr
+		}
+		return all[i].r.Kind < all[j].r.Kind
+	})
+	for _, t := range all {
+		if len(d.races) >= d.MaxRaces {
+			d.Dropped++
+			continue
+		}
+		d.races = append(d.races, t.r)
+	}
+}

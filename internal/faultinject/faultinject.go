@@ -27,6 +27,10 @@
 //	drain    — the deferred dispatch pipeline's ring drain. Errors
 //	           degrade the pipeline to inline delivery for the rest of
 //	           the run; panics unwind to containment.
+//	worker   — the parallel dispatch pipeline's per-drain fan-out.
+//	           Errors (and recovered panics) degrade the run to inline
+//	           delivery: shard state merges back and the batch replays
+//	           in seq order; panics unwind to containment.
 //	analysis — every analysis-bound access event (the outermost dispatch
 //	           wrapper).
 //
@@ -52,6 +56,9 @@ const (
 	SeamGuest
 	// SeamDrain fires once per deferred-dispatch ring drain.
 	SeamDrain
+	// SeamWorker fires once per parallel-dispatch drain, before the
+	// merged batch fans out to the analysis workers.
+	SeamWorker
 	// SeamAnalysis fires once per analysis-bound access event.
 	SeamAnalysis
 
@@ -67,6 +74,8 @@ func (s Seam) String() string {
 		return "guest"
 	case SeamDrain:
 		return "drain"
+	case SeamWorker:
+		return "worker"
 	case SeamAnalysis:
 		return "analysis"
 	}
@@ -82,10 +91,12 @@ func ParseSeam(s string) (Seam, error) {
 		return SeamGuest, nil
 	case "drain":
 		return SeamDrain, nil
+	case "worker":
+		return SeamWorker, nil
 	case "analysis":
 		return SeamAnalysis, nil
 	}
-	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain or analysis)", s)
+	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain, worker or analysis)", s)
 }
 
 // Kind is the manifestation of an injected fault.
@@ -189,8 +200,8 @@ func splitmix64(x uint64) uint64 {
 //
 //	[seed=N;]KIND:SEAM[@COUNT][;KIND:SEAM[@COUNT]...]
 //
-// KIND is panic, error or stall; SEAM is provider, guest, drain or
-// analysis; COUNT is the 1-based seam crossing to fire on. A rule with
+// KIND is panic, error or stall; SEAM is provider, guest, drain, worker
+// or analysis; COUNT is the 1-based seam crossing to fire on. A rule with
 // no @COUNT gets a deterministic count derived from the seed and the
 // rule's position via splitmix64, so "seed=7;panic:analysis" names one
 // exact fault without spelling the crossing. The empty string is the

@@ -133,6 +133,14 @@ type Detector struct {
 	// of Counters so findings stay byte-identical across dispatch modes.
 	vec vecStats
 
+	// shard marks a parallel-dispatch replica: warnings are stored
+	// uncapped and tagged with curSeq (the sequence number of the record
+	// the batch kernel is currently retiring), so MergeShards can
+	// interleave the shards' warnings back into global report order.
+	shard    bool
+	curSeq   uint64
+	warnSeqs []uint64
+
 	C Counters
 }
 
@@ -300,6 +308,9 @@ func (d *Detector) report(w Warning) {
 	d.seen[w.Addr] = struct{}{}
 	if len(d.warnings) < d.MaxWarnings {
 		d.warnings = append(d.warnings, w)
+		if d.shard {
+			d.warnSeqs = append(d.warnSeqs, d.curSeq)
+		}
 	}
 }
 
