@@ -8,11 +8,11 @@
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
 //	              switch|providers|detectors|muxbench|epochs|deferred|vector|
-//	              parallel|scaling|nondet|stm|crew]
+//	              parallel|phase|scaling|nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
 //	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
-//	             [-vecjson FILE] [-paralleljson FILE]
-//	             [-epoch] [-dispatch inline|deferred|vectorized|parallel]
+//	             [-vecjson FILE] [-paralleljson FILE] [-phasejson FILE]
+//	             [-epoch] [-dispatch inline|deferred|vectorized|parallel|phased]
 //	             [-analysis-workers N]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
 //	aikido-bench -experiment chaos [-chaos PLAN] [-scale F] [-workers N]
@@ -68,11 +68,25 @@
 // page-sharded fan-out at 2/4/8 workers recovers on top of BENCH_7's
 // vectorized cells (per drain: a fixed fan-out/join cost plus a
 // reconciliation term per active shard, against retiring the batch at
-// the slowest shard instead of the sum of all shards).
+// the slowest shard instead of the sum of all shards); phased — inline
+// delivery for joined pages plus Doppel-style split phases for hot ones
+// (see docs/phases.md): pages the sharing detector classifies as
+// many-writer-every-epoch bank their accesses in per-thread delta rings
+// at PhaseBankRecord instead of paying the per-access clean call, and a
+// reconciliation merge folds the deltas into canonical shadow state —
+// in (seq, addr, kind) order, strictly before every phase flip, sync
+// event or epoch sweep — so findings stay byte-identical to inline.
+// Under the default cost model phased is byte-identical to the inline
+// baseline too (banking is charge-free and delivery order-preserving) —
+// CI's "-dispatch phased" equivalence legs diff exactly that. The phase
+// experiment (and -phasejson, the BENCH_9.json source) measures the
+// split-phase win on permanently-hot pages (falseshare, zipf-hot) under
+// the transition-cost model, with every PARSEC model as guard rail.
 //
 // -experiment chaos is the fault-isolation acceptance harness and is NOT
 // part of "all": it runs the chaos matrix (every Figure-5 model×mode cell
-// plus the epoch suite's demoting workloads) under the deterministic
+// plus the epoch suite's demoting workloads, the Zipf parallel cells and
+// the hot phased cells) under the deterministic
 // fault-injection plan given with -chaos ("[seed=N;]KIND:SEAM[@COUNT];…",
 // see internal/faultinject), and exits nonzero if any containment
 // contract breaks — an injected fault escaping as a process crash, a
@@ -99,7 +113,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, parallel, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, parallel, phase, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
@@ -109,8 +123,9 @@ func main() {
 	deferredOut := flag.String("deferredjson", "", "write the deferred-dispatch amortization report (BENCH_5.json snapshots) to this file (\"-\" = stdout)")
 	vecOut := flag.String("vecjson", "", "write the batch-vectorization report (BENCH_7.json snapshots) to this file (\"-\" = stdout)")
 	parOut := flag.String("paralleljson", "", "write the parallel-analysis fan-out report (BENCH_8.json snapshots) to this file (\"-\" = stdout)")
+	phaseOut := flag.String("phasejson", "", "write the split-phase hot-page report (BENCH_9.json snapshots) to this file (\"-\" = stdout)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
-	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred, vectorized or parallel (CI diffs every non-inline mode against the inline baseline)")
+	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred, vectorized, parallel or phased (CI diffs every non-inline mode against the inline baseline)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "with -dispatch parallel: analysis worker goroutines per cell (<1 = 1; reports are byte-identical at any value)")
 	det := flag.Bool("deterministic", false, "zero wall_ns in machine-readable reports so output bytes depend only on simulated metrics")
 	analyses := flag.String("analysis", "", "comma-separated analyses for every analysis-bearing cell (registry names; empty = default FastTrack)")
@@ -174,11 +189,11 @@ func main() {
 		return f
 	}
 
-	// -json, -muxjson, -epochjson, -deferredjson, -vecjson and
-	// -paralleljson each replace the text experiments; given together,
+	// -json, -muxjson, -epochjson, -deferredjson, -vecjson, -paralleljson
+	// and -phasejson each replace the text experiments; given together,
 	// every requested report is produced.
 	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" ||
-		*vecOut != "" || *parOut != "" {
+		*vecOut != "" || *parOut != "" || *phaseOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -265,6 +280,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WriteParallelJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *phaseOut != "" {
+			rep, err := experiments.PhaseJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: phasejson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*phaseOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WritePhaseJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -393,6 +423,14 @@ func main() {
 			return err
 		}
 		experiments.WriteParallelAmortization(w, rows)
+		return nil
+	})
+	run("phase", func() error {
+		rows, err := experiments.PhaseAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WritePhaseAmortization(w, rows)
 		return nil
 	})
 	run("scaling", func() error {

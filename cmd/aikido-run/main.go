@@ -6,7 +6,7 @@
 //
 //	aikido-run [-bench NAME|all] [-mode native|dbi|fasttrack|aikido|profile]
 //	           [-analysis NAME[,NAME...]] [-max-findings N] [-epoch]
-//	           [-dispatch inline|deferred|vectorized|parallel]
+//	           [-dispatch inline|deferred|vectorized|parallel|phased]
 //	           [-analysis-workers N]
 //	           [-provider aikidovm|dos|dthreads] [-paging shadow|nested]
 //	           [-switch hypercall|segtrap|probe]
@@ -46,7 +46,18 @@
 // ANY worker count — only wall-clock varies. A worker fault (see -chaos,
 // seam "worker") replays the batch inline and latches inline dispatch for
 // the rest of the run; a selection containing an analysis without shard
-// support degrades to vectorized dispatch.
+// support degrades to vectorized dispatch. -dispatch phased delivers
+// joined pages inline but flips pages the sharing detector classifies as
+// hot — many-writer every epoch for a sustained streak — into
+// Doppel-style split phases (docs/phases.md): split-page accesses bank
+// in per-thread delta rings and a reconciliation merge replays them in
+// canonical (seq, addr, kind) order at every drain point, strictly
+// before any phase flip, sync event or epoch sweep, so findings are
+// byte-identical to inline on any schedule. Phased dispatch implies
+// -epoch (the classifier lives in the epoch sweep; the default policies
+// are filled in when unset). A reconcile fault (seam "reconcile")
+// replays the merged batch inline and latches inline dispatch — no
+// banked record is lost or duplicated.
 //
 // -list-analyses prints the registry catalog: canonical names, the short
 // aliases that resolve to them, and the wrapper combinator in composed
@@ -54,8 +65,8 @@
 //
 // Fault isolation (see internal/faultinject and ARCHITECTURE.md):
 // -chaos injects a deterministic fault plan ("seed=N;KIND:SEAM[@COUNT];…"
-// with kinds panic|error|stall and seams provider|guest|drain|analysis)
-// into every cell; -max-cycles and -cell-deadline bound each cell's
+// with kinds panic|error|stall and seams
+// provider|guest|drain|worker|analysis|reconcile) into every cell; -max-cycles and -cell-deadline bound each cell's
 // simulated-cycle and wall-clock consumption with typed budget errors;
 // -keep-going records failing cells in the report and finishes the rest
 // of the sweep instead of aborting on the first error.
@@ -104,7 +115,7 @@ func run(args []string) int {
 	analyses := fs.String("analysis", "fasttrack", "comma-separated analyses to multiplex onto one pass (see -list-analyses)")
 	maxFindings := fs.Int("max-findings", 0, "cap stored findings for the whole run, divided across the selected analyses (0 = each detector's default)")
 	epoch := fs.Bool("epoch", false, "enable epoch-based re-privatization of Shared pages (Aikido modes)")
-	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access), deferred (batched ring drains), vectorized (batched + page-grouped kernels) or parallel (page-sharded worker fan-out)")
+	dispatch := fs.String("dispatch", "inline", "analysis dispatch mode: inline (per access), deferred (batched ring drains), vectorized (batched + page-grouped kernels), parallel (page-sharded worker fan-out) or phased (split-phase hot-page banking; implies -epoch)")
 	analysisWorkers := fs.Int("analysis-workers", 0, "with -dispatch parallel: analysis worker goroutines (<1 = 1; output is byte-identical at any value)")
 	prov := fs.String("provider", "aikidovm", "per-thread protection provider: aikidovm, dos, dthreads (§7.1)")
 	paging := fs.String("paging", "shadow", "AikidoVM paging mode: shadow, nested (§3.2.2)")
@@ -116,7 +127,7 @@ func run(args []string) int {
 	races := fs.Bool("races", false, "alias for -findings")
 	list := fs.Bool("list", false, "list benchmarks and exit")
 	listAn := fs.Bool("list-analyses", false, "list registered analyses and exit")
-	chaos := fs.String("chaos", "", "fault-injection plan: [seed=N;]KIND:SEAM[@COUNT];... (kinds panic|error|stall, seams provider|guest|drain|analysis)")
+	chaos := fs.String("chaos", "", "fault-injection plan: [seed=N;]KIND:SEAM[@COUNT];... (kinds panic|error|stall, seams provider|guest|drain|worker|analysis|reconcile)")
 	maxCycles := fs.Uint64("max-cycles", 0, "per-cell simulated-cycle budget (0 = unlimited); overrun is a typed cell error")
 	cellDeadline := fs.Duration("cell-deadline", 0, "per-cell wall-clock budget (0 = unlimited); overrun is a typed cell error")
 	keepGoing := fs.Bool("keep-going", false, "record failing cells and finish the sweep instead of aborting on the first error")
@@ -295,6 +306,10 @@ func run(args []string) int {
 	if res.ParallelDrains > 0 {
 		fmt.Printf("parallel drains  %d (%d page-straddle splits)\n",
 			res.ParallelDrains, res.ParallelSplits)
+	}
+	if res.PhaseReconciles > 0 || res.PhaseBanked > 0 {
+		fmt.Printf("phase reconciles %d (%d records banked, %d pages split, %d rejoined)\n",
+			res.PhaseReconciles, res.PhaseBanked, res.SD.PagesSplit, res.SD.PagesJoined)
 	}
 	if m == core.ModeAikidoFastTrack || m == core.ModeAikidoProfile {
 		fmt.Printf("provider         %s (paging %s, switch %s)\n", pk, pg, sw)

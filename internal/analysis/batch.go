@@ -154,6 +154,45 @@ func (m *Mux) OnAccessGroups(recs []AccessRecord, groups []AccessGroup) {
 	}
 }
 
+// PhaseReconciler is the optional split-phase reconciliation entry point
+// an Analysis may implement for phased dispatch (Doppel-style split
+// epochs): the batch is the k-way merge of per-thread delta rings banked
+// while their pages were split, restored to canonical (seq, addr, kind)
+// order, with its page-group annotation. The contract is exactly
+// GroupedBatchAnalysis's — processing recs in index order must be
+// observationally identical to replaying each record on its inline hook —
+// plus the caller's guarantee that every record was banked and is
+// delivered under the SAME phase of its page: reconciliation always
+// precedes a phase flip, demotion, sync event or address-space change.
+// Implementing it separately from OnAccessGroups lets a detector
+// distinguish reconcile merges from vectorized drains (for doc clarity
+// and future reconcile-only optimizations); the in-tree detectors
+// delegate to their grouped kernels.
+type PhaseReconciler interface {
+	OnPhaseReconcile(recs []AccessRecord, groups []AccessGroup)
+}
+
+// DispatchReconcile feeds a reconciliation merge to a: through
+// OnPhaseReconcile when a implements it, otherwise through
+// DispatchGroups (whose own ladder ends at per-record replay). Analyses
+// without any batch surface work unchanged under phased dispatch.
+func DispatchReconcile(a Analysis, recs []AccessRecord, groups []AccessGroup) {
+	if pr, ok := a.(PhaseReconciler); ok {
+		pr.OnPhaseReconcile(recs, groups)
+		return
+	}
+	DispatchGroups(a, recs, groups)
+}
+
+// OnPhaseReconcile implements PhaseReconciler: the mux hands the merge
+// and its group annotation to each member in dispatch order, so every
+// member's shadow state reconciles before the phase boundary completes.
+func (m *Mux) OnPhaseReconcile(recs []AccessRecord, groups []AccessGroup) {
+	for _, a := range m.list {
+		DispatchReconcile(a, recs, groups)
+	}
+}
+
 // VectorStats reports what a vectorized kernel did with the records it was
 // handed: Coalesced counts records retired by a run-length tail (one
 // hoisted comparison instead of a full scalar hook), Fallbacks counts

@@ -152,3 +152,13 @@ func (d *Detector) contFallback(r *analysis.AccessRecord) {
 		d.access(r.TID, r.PC, b, r.Write)
 	}
 }
+
+// OnPhaseReconcile implements analysis.PhaseReconciler: the split-phase
+// reconciliation merge of phased dispatch (Doppel-style split epochs).
+// Banked records arrive in canonical (seq, addr, kind) order and strictly
+// inside one synchronization-free window (reconciliation precedes every
+// sync event), so region tracking observes the same access-in-region
+// interleavings inline delivery would have.
+func (d *Detector) OnPhaseReconcile(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	d.OnAccessGroups(recs, groups)
+}

@@ -4,6 +4,10 @@
 // broadcast (so region ids advance identically everywhere — every replica
 // sees every acquire, keeping nextRegion in lockstep with the primary),
 // and MergeShards restores the exact single-detector state.
+//
+// Split phases (phased dispatch) compose trivially: reconciliation is a
+// full-pipeline drain, so banked deltas land — via OnPhaseReconcile, on
+// the primary — strictly before any shard fan-out or region boundary.
 package atomicity
 
 import (

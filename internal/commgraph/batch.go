@@ -132,3 +132,12 @@ func (a *Analysis) pageEdge(addr uint64, e Edge, w uint64) {
 	}
 	pe[e] += w
 }
+
+// OnPhaseReconcile implements analysis.PhaseReconciler: the split-phase
+// reconciliation merge of phased dispatch (Doppel-style split epochs).
+// Banked records arrive in canonical (seq, addr, kind) order, so
+// last-writer tracking — and therefore every communication edge — is
+// reconciled exactly as inline delivery would have recorded it.
+func (a *Analysis) OnPhaseReconcile(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	a.OnAccessGroups(recs, groups)
+}

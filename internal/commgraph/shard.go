@@ -5,6 +5,10 @@
 // addition. The profiler stores no capped, order-sensitive findings —
 // Edges() and HotPages() sort deterministically — so no sequence tagging
 // is needed.
+//
+// Split phases (phased dispatch) compose trivially: reconciliation is a
+// full-pipeline drain, so banked deltas land — via OnPhaseReconcile, on
+// the primary — strictly before any shard fan-out could observe them.
 package commgraph
 
 import (

@@ -18,6 +18,13 @@ package core
 //	           empty plan leaves every byte-identity contract intact.
 //	drain    — inside pipeline.drain (dispatch.go), with the
 //	           deferred→inline fallback as the error-kind response.
+//	worker   — also inside pipeline.drain, before the parallel fan-out;
+//	           same degradation (merge replicas, replay inline, latch).
+//	reconcile — pipeline.drain under phased dispatch (it replaces the
+//	           drain seam there): the split-phase reconciliation merge,
+//	           fired only with banked deltas pending. Error-kind faults
+//	           replay the merged batch inline and latch the pipeline
+//	           inline — no banked record lost or duplicated.
 
 import (
 	"fmt"
@@ -28,6 +35,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/isa"
 	"repro/internal/provider"
+	"repro/internal/sharing"
 )
 
 // BudgetError is the typed error a run returns when it exceeds a
@@ -123,4 +131,15 @@ func (c *chaosAnalysis) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uin
 func (c *chaosAnalysis) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
 	c.fire()
 	c.Analysis.OnSharedAccess(tid, pc, addr, size, write)
+}
+
+// OnSplitAccess implements sharing.PhaseBanker, so banked split-phase
+// accesses cross the analysis seam exactly like delivered ones — the
+// seam's crossing counts stay identical whether a page is split or
+// joined, which keeps chaos plans portable across dispatch modes. The
+// wrapped stack is the phased pipeline whenever phases are armed (core
+// wires the banker through this wrapper only then).
+func (c *chaosAnalysis) OnSplitAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	c.fire()
+	c.Analysis.(sharing.PhaseBanker).OnSplitAccess(tid, pc, addr, size, write)
 }

@@ -166,6 +166,15 @@ type Config struct {
 	// sharing.DefaultEpochPolicy.
 	Epoch sharing.EpochPolicy
 
+	// Phase parameterizes DispatchPhased's hot-page classifier (Doppel-
+	// style split phases; see sharing.PhasePolicy). It engages only in
+	// Aikido modes with DispatchPhased and an enabled Epoch policy — the
+	// classifier lives in the epoch sweep. NewSystem fills in
+	// sharing.DefaultEpochPolicy and sharing.DefaultPhasePolicy for an
+	// Aikido-mode DispatchPhased config that left either zero, so
+	// "-dispatch phased" alone names the whole refinement.
+	Phase sharing.PhasePolicy
+
 	// MaxCycles caps the run's simulated cycles: a run whose clock
 	// exceeds it at a scheduling-quantum boundary aborts with a typed
 	// *BudgetError. The check sits on the engine's existing quantum seam
@@ -279,6 +288,18 @@ func (s *System) newAnalyses() (analysis.Analysis, error) {
 
 // NewSystem loads prog and assembles the configured stack.
 func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
+	if cfg.Dispatch == DispatchPhased &&
+		(cfg.Mode == ModeAikidoFastTrack || cfg.Mode == ModeAikidoProfile) {
+		// Phased dispatch is meaningless without the epoch sweep (the
+		// classifier's only home) and a split policy; fill the calibrated
+		// defaults so "-dispatch phased" alone names the refinement.
+		if !cfg.Epoch.Enabled() {
+			cfg.Epoch = sharing.DefaultEpochPolicy()
+		}
+		if !cfg.Phase.Enabled() {
+			cfg.Phase = sharing.DefaultPhasePolicy()
+		}
+	}
 	m := vm.NewMachine()
 	p, err := guest.NewProcess(m, prog)
 	if err != nil {
@@ -348,9 +369,22 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 		s.Engine.RuntimeTouch = s.SD.TouchCode
 		if cfg.Epoch.Enabled() {
 			s.SD.EnableEpochs(cfg.Epoch)
-			s.Epochs = newEpochClock(clock, cfg.Epoch.Interval, s.SD.EpochSweep)
+			sweep := s.SD.EpochSweep
+			if s.pipe != nil && s.pipe.phased {
+				// Reconcile-then-sweep: the sweep is where pages flip
+				// phase, so every banked delta must reconcile into
+				// canonical shadow state first — a record banked under
+				// split must never be delivered after its page joins (or
+				// demotes). The drain is a no-op when nothing is banked.
+				pipe, sd := s.pipe, s.SD
+				sweep = func() {
+					pipe.drain()
+					sd.EpochSweep()
+				}
+			}
+			s.Epochs = newEpochClock(clock, cfg.Epoch.Interval, sweep)
 			tick := s.Epochs.MaybeTick
-			if s.pipe != nil {
+			if s.pipe != nil && !s.pipe.phased {
 				// An armed epoch clock reads the simulated clock between
 				// accesses. Banked records carry analysis charges that
 				// have not landed yet, so a non-empty ring must drain
@@ -359,6 +393,13 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 				// identical to inline dispatch. Epoch runs consequently
 				// drain per instrumented access: correctness keeps
 				// byte-identity, at the price of the batching win.
+				//
+				// Phased dispatch deliberately skips this composition:
+				// joined pages deliver (and charge) inline, so non-hot
+				// runs tick identically to inline anyway, while split
+				// pages' delayed charges are allowed to shift epoch
+				// boundaries — findings stay identical (the reconcile
+				// preserves order), cycles are the BENCH_9 win.
 				pipe, epochs := s.pipe, s.Epochs
 				tick = func() {
 					pipe.drain()
@@ -366,6 +407,17 @@ func NewSystem(prog *isa.Program, cfg Config) (*System, error) {
 				}
 			}
 			s.SD.SetEpochTicker(tick)
+			if s.pipe != nil && s.pipe.phased && cfg.Phase.Enabled() {
+				// The banker the detector routes split-page accesses to:
+				// the chaos analysis wrapper when a plan is armed (so the
+				// analysis seam's crossing counts include banked
+				// accesses), the pipeline itself otherwise.
+				banker := sharing.PhaseBanker(s.pipe)
+				if cb, ok := s.an.(sharing.PhaseBanker); ok {
+					banker = cb
+				}
+				s.SD.EnablePhases(cfg.Phase, banker)
+			}
 		}
 
 	default:
@@ -592,6 +644,16 @@ type Result struct {
 	// may differ between dispatch modes.
 	ParallelDrains uint64
 	ParallelSplits uint64
+
+	// PhaseReconciles counts split-phase reconciliation merges and
+	// PhaseBanked the access records banked through per-thread delta
+	// rings while their page was split (DispatchPhased; page-level flip
+	// counts live in SD.PagesSplit / SD.PagesJoined). Both are 0 in every
+	// other dispatch mode and on workloads that never go hot — which is
+	// exactly the phased byte-identity condition the equivalence tests
+	// assert.
+	PhaseReconciles uint64
+	PhaseBanked     uint64
 }
 
 // Run executes the assembled system to completion.
@@ -654,6 +716,8 @@ func (s *System) Run() (*Result, error) {
 		r.DeferredGroups = s.pipe.groupsN
 		r.ParallelDrains = s.pipe.pdrains
 		r.ParallelSplits = s.pipe.psplits
+		r.PhaseReconciles = s.pipe.preconciles
+		r.PhaseBanked = s.pipe.precs
 		for _, a := range s.Analyses {
 			if vs, ok := a.(analysis.VectorStatser); ok {
 				st := vs.VectorStats()

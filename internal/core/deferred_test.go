@@ -48,6 +48,7 @@ func stripDeferredCounters(r *Result) *Result {
 	c.DeferredDrains, c.DeferredRecords, c.DeferredFallbacks = 0, 0, 0
 	c.DeferredGroups, c.VectorCoalesced, c.VectorFallbacks = 0, 0, 0
 	c.ParallelDrains, c.ParallelSplits = 0, 0
+	c.PhaseReconciles, c.PhaseBanked = 0, 0
 	return &c
 }
 
@@ -365,6 +366,7 @@ func TestDispatchModeParsing(t *testing.T) {
 	for arg, want := range map[string]DispatchMode{
 		"": DispatchInline, "inline": DispatchInline, "deferred": DispatchDeferred,
 		"vectorized": DispatchVectorized, "parallel": DispatchParallel,
+		"phased": DispatchPhased,
 	} {
 		got, err := ParseDispatchMode(arg)
 		if err != nil || got != want {
@@ -375,7 +377,8 @@ func TestDispatchModeParsing(t *testing.T) {
 		t.Error("unknown dispatch mode accepted")
 	}
 	if DispatchInline.String() != "inline" || DispatchDeferred.String() != "deferred" ||
-		DispatchVectorized.String() != "vectorized" || DispatchParallel.String() != "parallel" {
+		DispatchVectorized.String() != "vectorized" || DispatchParallel.String() != "parallel" ||
+		DispatchPhased.String() != "phased" {
 		t.Error("dispatch mode names diverge from the flag spellings")
 	}
 }

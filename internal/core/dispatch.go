@@ -8,6 +8,7 @@ import (
 	"repro/internal/guest"
 	"repro/internal/isa"
 	"repro/internal/stats"
+	"repro/internal/vm"
 )
 
 // DispatchMode selects how access events travel from the instrumented hot
@@ -68,6 +69,30 @@ const (
 	// fault at the worker seam degrades the run to inline delivery
 	// exactly like a drain-seam fault.
 	DispatchParallel
+	// DispatchPhased is the Doppel-style split-phase refinement (phases
+	// borrowed from Narula et al.'s Doppel: contended records go through
+	// per-core split-phase stores, reconciled at the phase boundary). It
+	// targets the workloads every other refinement left at exactly 1.00×:
+	// pages written by many threads every epoch, which never demote and
+	// pay the full per-access analysis transition forever. Under phased
+	// dispatch the sharing detector's epoch sweep classifies such pages as
+	// hot (sharing.PhasePolicy) and flips them SPLIT: their accesses are
+	// banked in the acting thread's private delta ring — one compact
+	// record store, charged CostModel.PhaseBankRecord instead of the
+	// per-analysis clean call — while every other access is delivered
+	// inline exactly as DispatchInline would. At the next drain point
+	// (sync event, VMA change, epoch sweep, ring-full, end of run) the
+	// banked deltas k-way-merge back into canonical (seq, addr, kind)
+	// order and RECONCILE into the analyses' shadow state through the
+	// grouped entry points, charging CostModel.PhaseReconcileBase per
+	// analysis. Non-hot workloads never bank, so their findings, counters
+	// AND cycles are byte-identical to inline; hot workloads keep
+	// byte-identical findings (the reconcile replays the exact inline
+	// order) while their epoch-boundary positions may shift with the
+	// re-timed charges — the cycle win BENCH_9 measures. A chaos fault at
+	// the reconcile seam degrades exactly like a drain-seam fault: the
+	// merged batch replays inline and the pipeline latches inline.
+	DispatchPhased
 )
 
 // String names the mode as the -dispatch flags spell it.
@@ -81,6 +106,8 @@ func (m DispatchMode) String() string {
 		return "vectorized"
 	case DispatchParallel:
 		return "parallel"
+	case DispatchPhased:
+		return "phased"
 	}
 	return "dispatch?"
 }
@@ -96,8 +123,10 @@ func ParseDispatchMode(s string) (DispatchMode, error) {
 		return DispatchVectorized, nil
 	case "parallel":
 		return DispatchParallel, nil
+	case "phased":
+		return DispatchPhased, nil
 	}
-	return DispatchInline, fmt.Errorf("core: unknown dispatch mode %q (want inline, deferred, vectorized or parallel)", s)
+	return DispatchInline, fmt.Errorf("core: unknown dispatch mode %q (want inline, deferred, vectorized, parallel or phased)", s)
 }
 
 // ringCap is the fixed per-thread ring capacity. A full ring forces a
@@ -164,6 +193,17 @@ type pipeline struct {
 	par     *parallelPool
 	pdrains uint64
 	psplits uint64
+
+	// phased switches the pipeline to split-phase operation
+	// (DispatchPhased): the ordinary analysis surface delivers inline and
+	// only the PhaseBanker surface (OnSplitAccess — hot pages the sharing
+	// detector flipped split) banks into the rings; drains become
+	// reconciliation merges. preconciles counts reconcile merges and
+	// precs records banked through the split phase
+	// (Result.PhaseReconciles / PhaseBanked).
+	phased      bool
+	preconciles uint64
+	precs       uint64
 }
 
 // newPipeline builds the deferred pipeline over the (possibly multiplexed)
@@ -270,18 +310,44 @@ func (p *pipeline) drain() {
 	p.pending = 0
 	p.scratch = out[:0]
 
-	// Chaos drain seam. An error-kind fault here models a broken batch
-	// path: the response is graceful degradation, not abort. The merged
-	// batch is replayed record-by-record on the inline hooks — the exact
-	// sequence order DispatchBatch would have delivered, so no record is
-	// lost or duplicated and findings stay identical — and the pipeline
-	// latches inline for the remainder of the run. The error fires
-	// BEFORE DispatchBatch ever starts, never mid-batch: a half-consumed
-	// batch could not be replayed without double-delivery. (Panic-kind
-	// faults unwind to the runner's containment instead; the cell is
-	// discarded whole, so partial delivery cannot corrupt a report.)
-	if err := p.inj.Fire(faultinject.SeamDrain); err != nil {
+	// Chaos drain seam (reconcile seam under phased dispatch — it fires
+	// only here, with deltas pending, so every crossing is a real merge).
+	// An error-kind fault here models a broken batch path: the response
+	// is graceful degradation, not abort. The merged batch is replayed
+	// record-by-record on the inline hooks — the exact sequence order the
+	// batched delivery would have used, so no record is lost or
+	// duplicated and findings stay identical — and the pipeline latches
+	// inline for the remainder of the run. The error fires BEFORE any
+	// batched delivery starts, never mid-batch: a half-consumed batch
+	// could not be replayed without double-delivery. (Panic-kind faults
+	// unwind to the runner's containment instead; the cell is discarded
+	// whole, so partial delivery cannot corrupt a report.)
+	seam := faultinject.SeamDrain
+	if p.phased {
+		seam = faultinject.SeamReconcile
+	}
+	if err := p.inj.Fire(seam); err != nil {
 		p.degradeInline(out)
+		return
+	}
+
+	if p.phased {
+		// Reconciliation merge: fold the banked split-phase deltas into
+		// canonical shadow state through the grouped entry points, in the
+		// exact (seq, addr, kind) order the k-way merge restored. The
+		// transition cost is one reconcile entry per analysis per merge;
+		// members without a grouped kernel still walk records one at a
+		// time and pay the per-record hand-off.
+		p.drains++
+		p.records += uint64(len(out))
+		p.preconciles++
+		p.groups = analysis.GroupByPage(out, p.groups[:0])
+		p.groupsN += uint64(len(p.groups))
+		if c := p.nmem*p.costs.PhaseReconcileBase +
+			p.nscalar*p.costs.BatchPerRecord*uint64(len(out)); c > 0 {
+			p.clock.Charge(c)
+		}
+		analysis.DispatchReconcile(p.an, out, p.groups)
 		return
 	}
 
@@ -373,6 +439,9 @@ func (p *pipeline) Name() string {
 	if p.par != nil {
 		return "parallel(" + p.an.Name() + ")"
 	}
+	if p.phased {
+		return "phased(" + p.an.Name() + ")"
+	}
 	return "deferred(" + p.an.Name() + ")"
 }
 
@@ -391,13 +460,57 @@ func (p *pipeline) bcast(f func(analysis.Analysis)) {
 }
 
 // OnAccess implements analysis.Analysis (full-instrumentation events).
+// Under phased dispatch the ordinary analysis surface delivers inline —
+// only split pages bank, through OnSplitAccess — so joined-page behaviour
+// (findings, counters, cycles) is byte-identical to DispatchInline.
 func (p *pipeline) OnAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	if p.phased {
+		p.chargeInline(1)
+		p.an.OnAccess(tid, pc, addr, size, write)
+		return
+	}
 	p.push(tid, pc, addr, size, write, false)
 }
 
 // OnSharedAccess implements analysis.Analysis (and, structurally,
 // sharing.Analysis — the AikidoSD client surface).
 func (p *pipeline) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	if p.phased {
+		p.chargeInline(1)
+		p.an.OnSharedAccess(tid, pc, addr, size, write)
+		return
+	}
+	p.push(tid, pc, addr, size, write, true)
+}
+
+// OnSplitAccess implements sharing.PhaseBanker: the split-phase delivery
+// surface for accesses to pages the sharing detector classified hot. The
+// steady-state path banks one compact record in the acting thread's
+// private ring — a struct store charged CostModel.PhaseBankRecord once,
+// against the per-analysis clean call inline delivery pays — and the
+// next drain point reconciles it in canonical order. Two guarded exits
+// keep the soundness argument airtight: after a reconcile-seam fault the
+// pipeline has latched inline and the access is delivered directly, and
+// an access straddling a 4 KiB page boundary (its tail page may be
+// joined, demoted, or mid-flip) forces an immediate reconcile and then
+// delivers inline — the boundary access is always analyzed, in order,
+// on both pages it touches.
+func (p *pipeline) OnSplitAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	if p.inline {
+		p.chargeInline(1)
+		p.an.OnSharedAccess(tid, pc, addr, size, write)
+		return
+	}
+	if size > 1 && vm.PageNum(addr) != vm.PageNum(addr+uint64(size)-1) {
+		p.drain()
+		p.chargeInline(1)
+		p.an.OnSharedAccess(tid, pc, addr, size, write)
+		return
+	}
+	if c := p.costs.PhaseBankRecord; c > 0 {
+		p.clock.Charge(c)
+	}
+	p.precs++
 	p.push(tid, pc, addr, size, write, true)
 }
 
@@ -537,7 +650,7 @@ func (s *System) wrapDispatch(an analysis.Analysis) analysis.Analysis {
 	}
 	n := len(s.Analyses)
 	if s.Cfg.Dispatch == DispatchDeferred || s.Cfg.Dispatch == DispatchVectorized ||
-		s.Cfg.Dispatch == DispatchParallel {
+		s.Cfg.Dispatch == DispatchParallel || s.Cfg.Dispatch == DispatchPhased {
 		deferrable := true
 		for _, a := range s.Analyses {
 			if _, ok := asRetireObserver(a); ok {
@@ -555,13 +668,21 @@ func (s *System) wrapDispatch(an analysis.Analysis) analysis.Analysis {
 			}
 			s.pipe = newPipeline(an, n, s.Clock, s.Cfg.Costs)
 			s.pipe.inj = s.inj
-			if mode == DispatchVectorized {
-				s.pipe.vectorize = true
+			if mode == DispatchVectorized || mode == DispatchPhased {
+				// Both deliver batches through the grouped entry points;
+				// members without a grouped kernel pay the per-record
+				// hand-off.
 				for _, a := range s.Analyses {
 					if _, ok := a.(analysis.GroupedBatchAnalysis); !ok {
 						s.pipe.nscalar++
 					}
 				}
+			}
+			if mode == DispatchVectorized {
+				s.pipe.vectorize = true
+			}
+			if mode == DispatchPhased {
+				s.pipe.phased = true
 			}
 			if mode == DispatchParallel {
 				workers := s.Cfg.AnalysisWorkers

@@ -1,0 +1,285 @@
+package core
+
+// Tests for DispatchPhased, the Doppel-style split-phase refinement: the
+// sharing detector flips many-writer-every-epoch pages into a split
+// phase whose accesses bank in per-thread delta rings, and the pipeline
+// reconciles the deltas into canonical shadow state — in (seq, addr,
+// kind) order, strictly before every phase flip, sync event and epoch
+// sweep. The contracts pinned here:
+//
+//   - never-hot workloads are byte-identical to inline dispatch in
+//     EVERY Result field — findings, counters and cycles — because no
+//     page ever splits and joined delivery charges exactly like inline;
+//   - hot racy workloads keep their race sets byte-identical to inline
+//     on aggressive schedules, with only the phase machinery's own
+//     counters differing;
+//   - the bank and steady-state reconcile paths allocate nothing.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/sharing"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// hotProgram builds the permanently-hot shape: nthreads workers hammer
+// the SAME three slots of one page, unlocked, for iters iterations each
+// — many writers every epoch, and real races for FastTrack to find.
+func hotProgram(nthreads, iters int64) *isa.Program {
+	b := isa.NewBuilder("hot")
+	page := b.Global(4096, 4096)
+	for i := int64(0); i < nthreads; i++ {
+		b.MovImm(isa.R5, i)
+		b.ThreadCreate("w", isa.R5)
+		b.Mov(isa.R9+isa.Reg(i), isa.R0)
+	}
+	for i := int64(0); i < nthreads; i++ {
+		b.Mov(isa.R9, isa.R9+isa.Reg(i))
+		b.ThreadJoin(isa.R9)
+	}
+	b.Halt()
+	b.Label("w")
+	b.MovImm(isa.R4, int64(page))
+	b.MovImm(isa.R3, 1)
+	b.LoopN(isa.R2, iters, func(b *isa.Builder) {
+		b.Store(isa.R4, 0, isa.R3)
+		b.Store(isa.R4, 8, isa.R3)
+		b.Load(isa.R6, isa.R4, 16)
+	})
+	b.Halt()
+	return b.MustFinish()
+}
+
+// aggressivePhasePolicy splits after two hot epochs with tiny volume
+// floors, so short test programs cross the phase boundary many times.
+func aggressivePhasePolicy() sharing.PhasePolicy {
+	return sharing.PhasePolicy{SplitAfter: 2, JoinAfter: 2, MinHotHits: 8, MinOtherWrites: 2}
+}
+
+// requirePhaseIdentical compares a phased run against inline dispatch:
+// everything must match except the phase machinery's own counters
+// (Result.PhaseReconciles/PhaseBanked, SD.PagesSplit/PagesJoined) and
+// EpochTicks. Tick-point identity is deliberately NOT part of the
+// hot-page contract: banked records deliver their analysis charges at
+// reconcile time, so a tick check between bank and reconcile reads a
+// slightly older clock and boundary crossings are detected later —
+// total cycles are unchanged (the same charges land in the same order),
+// and never-hot runs keep full tick identity (TestPhaseByteIdentical).
+func requirePhaseIdentical(t *testing.T, label string, inline, phased *Result) {
+	t.Helper()
+	in, ph := stripDeferredCounters(inline), stripDeferredCounters(phased)
+	in.SD.PagesSplit, in.SD.PagesJoined = 0, 0
+	ph.SD.PagesSplit, ph.SD.PagesJoined = 0, 0
+	in.EpochTicks, ph.EpochTicks = 0, 0
+	in.SD.EpochSweeps, ph.SD.EpochSweeps = 0, 0
+	if in.Cycles != ph.Cycles {
+		t.Errorf("%s: cycles diverge: inline %d, phased %d", label, in.Cycles, ph.Cycles)
+	}
+	if in.SD != ph.SD {
+		t.Errorf("%s: sharing counters diverge:\ninline: %+v\nphased: %+v", label, in.SD, ph.SD)
+	}
+	if !reflect.DeepEqual(in.AnalysisNames(), ph.AnalysisNames()) {
+		t.Fatalf("%s: analysis sets diverge: %v vs %v", label, in.AnalysisNames(), ph.AnalysisNames())
+	}
+	for _, name := range in.AnalysisNames() {
+		fi, fp := in.Findings[name], ph.Findings[name]
+		if !reflect.DeepEqual(fi.Strings(), fp.Strings()) {
+			t.Errorf("%s/%s: findings diverge:\ninline: %v\nphased: %v",
+				label, name, fi.Strings(), fp.Strings())
+		}
+		if fi.Summary() != fp.Summary() {
+			t.Errorf("%s/%s: counters diverge:\ninline: %s\nphased: %s",
+				label, name, fi.Summary(), fp.Summary())
+		}
+	}
+	if !reflect.DeepEqual(in, ph) {
+		t.Errorf("%s: results diverge outside the compared fields", label)
+	}
+}
+
+// TestPhaseByteIdentical: on workloads the classifier keeps joined —
+// demoting phased/migratory suites, a lock-disciplined counter — a
+// phased run is byte-identical to inline dispatch in EVERY field
+// (cycles included), under both the default and the transition cost
+// model, with zero pages split and zero records banked. This is the
+// non-hot half of the split-phase contract: phases that never engage
+// must be entirely free.
+func TestPhaseByteIdentical(t *testing.T) {
+	phasedSpec := workload.PhasedSpec{
+		Name: "phased", Threads: 8, Phases: 6, PhaseIters: 200,
+		PagesPerPart: 2, OpsPerIter: 8, AluOps: 6, WarmupOps: 1,
+	}
+	migratory := phasedSpec
+	migratory.Name = "migratory"
+	migratory.MigrateStride = 1
+
+	progs := map[string]*isa.Program{
+		"locked-counter": sharedProgram(200, true),
+	}
+	for _, src := range []workload.Source{phasedSpec, migratory} {
+		prog, err := src.Compile()
+		if err != nil {
+			t.Fatalf("%s: %v", src.SourceName(), err)
+		}
+		progs[src.SourceName()] = prog
+	}
+
+	costs := map[string]stats.CostModel{
+		"default":  stats.DefaultCosts(),
+		"dispatch": stats.DispatchCosts(),
+	}
+	for cname, cm := range costs {
+		for name, prog := range progs {
+			cfg := DefaultConfig(ModeAikidoFastTrack)
+			cfg.Costs = cm
+			cfg.Epoch = sharing.DefaultEpochPolicy()
+			cfg.Phase = sharing.DefaultPhasePolicy()
+			label := name + "/" + cname
+			inline := runDispatch(t, prog, cfg, DispatchInline)
+			phased := runDispatch(t, prog, cfg, DispatchPhased)
+			if phased.SD.PagesSplit != 0 || phased.PhaseBanked != 0 {
+				t.Errorf("%s: classifier split a non-hot workload (%d pages, %d banked)",
+					label, phased.SD.PagesSplit, phased.PhaseBanked)
+			}
+			if name != "locked-counter" && phased.SD.PagesDemotedPrivate == 0 {
+				t.Errorf("%s: no demotion — the epoch interplay coverage is vacuous", label)
+			}
+			if !reflect.DeepEqual(inline, phased) {
+				requirePhaseIdentical(t, label, inline, phased)
+				t.Errorf("%s: phased Result not byte-identical to inline", label)
+			}
+		}
+	}
+}
+
+// TestPhaseSplitsHotPage pins the classifier's positive half end to end:
+// a many-writer page splits after the policy's streak, its accesses
+// bank and reconcile, and everything except the phase counters is still
+// identical to inline dispatch (under the default cost model, banking
+// is charge-free and reconciliation preserves order).
+func TestPhaseSplitsHotPage(t *testing.T) {
+	prog := hotProgram(4, 3000)
+	cfg := DefaultConfig(ModeAikidoFastTrack)
+	// The epoch interval must span several scheduling quanta: an epoch one
+	// thread monopolizes has a single writer and can never classify hot.
+	cfg.Engine.Quantum = 200
+	cfg.Epoch = sharing.EpochPolicy{Interval: 60_000, DemoteAfter: 2, QuietAfter: 6, MinOwnerHits: 4}
+	cfg.Phase = aggressivePhasePolicy()
+	inline := runDispatch(t, prog, cfg, DispatchInline)
+	phased := runDispatch(t, prog, cfg, DispatchPhased)
+	if phased.SD.PagesSplit == 0 {
+		t.Fatalf("hot page never split (sweeps=%d)", phased.SD.EpochSweeps)
+	}
+	if phased.PhaseBanked == 0 || phased.PhaseReconciles == 0 {
+		t.Fatalf("split page banked nothing (banked=%d reconciles=%d)",
+			phased.PhaseBanked, phased.PhaseReconciles)
+	}
+	if len(racesOf(phased)) == 0 {
+		t.Fatal("hot racy program produced no races — the preservation check is vacuous")
+	}
+	requirePhaseIdentical(t, "hot", inline, phased)
+}
+
+// TestPhaseReconcilePreservesRaces is the schedule-robustness half:
+// across aggressive schedules (scheduling quanta from pathological to
+// coarse), the race set a phased run reports on a hot racy page is
+// byte-identical to inline dispatch's on the same schedule — banked
+// records reconcile in canonical order at every drain point, so no
+// schedule can make a race appear, vanish or reorder.
+func TestPhaseReconcilePreservesRaces(t *testing.T) {
+	prog := hotProgram(4, 2000)
+	for _, quantum := range []uint64{7, 53, 311, 977} {
+		cfg := DefaultConfig(ModeAikidoFastTrack)
+		cfg.Engine.Quantum = quantum
+		cfg.Epoch = sharing.EpochPolicy{Interval: 60_000, DemoteAfter: 2, QuietAfter: 6, MinOwnerHits: 4}
+		cfg.Phase = aggressivePhasePolicy()
+		inline := runDispatch(t, prog, cfg, DispatchInline)
+		phased := runDispatch(t, prog, cfg, DispatchPhased)
+		if phased.SD.PagesSplit == 0 || phased.PhaseBanked == 0 {
+			t.Fatalf("quantum %d: hot page never split (split=%d banked=%d)",
+				quantum, phased.SD.PagesSplit, phased.PhaseBanked)
+		}
+		ri, rp := racesOf(inline), racesOf(phased)
+		if len(ri) == 0 {
+			t.Fatalf("quantum %d: inline run found no races — preservation is vacuous", quantum)
+		}
+		if !reflect.DeepEqual(ri, rp) {
+			t.Errorf("quantum %d: race sets diverge:\ninline: %v\nphased: %v", quantum, ri, rp)
+		}
+	}
+}
+
+// TestPhaseBankNoAllocs is the split path's 0-alloc guard: banking an
+// access into the delta ring and the steady-state reconcile merge must
+// allocate nothing once the ring and scratch buffers exist.
+func TestPhaseBankNoAllocs(t *testing.T) {
+	p := newPipeline(&nopAnalysisCore{}, 1, &stats.Clock{}, stats.DefaultCosts())
+	p.phased = true
+	p.OnSplitAccess(2, 10, 0x1000, 8, true) // allocate the ring
+	if n := testing.AllocsPerRun(1000, func() {
+		p.OnSplitAccess(2, 10, 0x1000, 8, true)
+		if p.pending > ringCap-8 {
+			p.drain()
+		}
+	}); n != 0 {
+		t.Errorf("bank path allocates %.2f objects per access, want 0", n)
+	}
+	// Steady-state reconcile: after the first merge has sized the scratch
+	// and group buffers, a full bank-and-reconcile cycle is allocation-free.
+	p.drain()
+	p.OnSplitAccess(2, 10, 0x1000, 8, true)
+	p.drain()
+	if n := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 64; i++ {
+			p.OnSplitAccess(guest.TID(2+i%2), 10, uint64(0x1000+8*(i%16)), 8, i%2 == 0)
+		}
+		p.drain()
+	}); n != 0 {
+		t.Errorf("steady-state reconcile allocates %.2f objects per merge, want 0", n)
+	}
+}
+
+// straddleRecorder records the interleaving of batch replays and inline
+// deliveries, so ordering across the straddle escape hatch is checkable.
+type straddleRecorder struct {
+	nopAnalysisCore
+	events []string
+}
+
+func (r *straddleRecorder) OnAccessBatch(recs []analysis.AccessRecord) {
+	for _, rec := range recs {
+		r.events = append(r.events, fmt.Sprintf("batch:%d", rec.Seq))
+	}
+}
+
+func (r *straddleRecorder) OnSharedAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) {
+	r.events = append(r.events, fmt.Sprintf("inline:%#x", addr))
+}
+
+// TestPhasedStraddleDeliversInline pins the page-straddle escape hatch:
+// a split-page access that crosses into the next page cannot be banked
+// (its tail belongs to a page in an unknown phase), so the pipeline
+// reconciles pending deltas FIRST and then delivers the straddler
+// inline — order preserved across the seam.
+func TestPhasedStraddleDeliversInline(t *testing.T) {
+	rec := &straddleRecorder{}
+	p := newPipeline(rec, 1, &stats.Clock{}, stats.DefaultCosts())
+	p.phased = true
+	p.OnSplitAccess(1, 10, 0x1ff0, 8, true)  // banks (seq 0)
+	p.OnSplitAccess(1, 11, 0x1ffc, 8, true)  // straddles 0x1000→0x2000: drain, then inline
+	p.OnSplitAccess(1, 12, 0x2000, 8, false) // banks (seq 1)
+	p.drain()
+	if p.precs != 2 {
+		t.Errorf("banked %d records, want 2 (straddle must not bank)", p.precs)
+	}
+	want := []string{"batch:0", "inline:0x1ffc", "batch:1"}
+	if !reflect.DeepEqual(rec.events, want) {
+		t.Errorf("delivery order %v, want %v", rec.events, want)
+	}
+}

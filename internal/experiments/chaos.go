@@ -11,6 +11,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/parsec"
 	"repro/internal/runner"
+	"repro/internal/sharing"
 )
 
 // ChaosMaxCycles is the simulated-cycle budget stamped on every chaos
@@ -77,7 +78,12 @@ type ChaosReport struct {
 // and guarantee drain-seam coverage regardless of o.Dispatch, plus the
 // Zipf suite as parallel-dispatch cells at 4 analysis workers, which
 // guarantee worker-seam coverage (a worker fault latches the rest of the
-// run inline) regardless of o.Dispatch.
+// run inline) regardless of o.Dispatch, plus the permanently-hot phase
+// suite rows (falseshare, zipf-hot) as phased-dispatch cells, which
+// guarantee reconcile-seam coverage: their pages split within a few
+// epochs, so every subsequent drain is a reconciliation merge (an
+// error-kind fault there replays the merged batch inline and latches
+// the pipeline — banked records are never lost or duplicated).
 func (o Options) chaosSpecs(plan *faultinject.Plan, stamp bool) []runner.Spec {
 	var specs []runner.Spec
 	for _, b := range parsec.All() {
@@ -110,6 +116,21 @@ func (o Options) chaosSpecs(plan *faultinject.Plan, stamp bool) []runner.Spec {
 	}
 	for _, c := range zipfSuite(o) {
 		specs = append(specs, runner.Spec{Label: c.name + "/parallel", Source: c.src, Config: parCfg})
+	}
+	phCfg := o.analysisCell(core.ModeAikidoFastTrack)
+	phCfg.Analyses = o.Analyses
+	phCfg.Epoch = o.epochPolicy()
+	phCfg.Dispatch = core.DispatchPhased
+	phCfg.Phase = sharing.DefaultPhasePolicy()
+	if stamp {
+		phCfg.Chaos = plan
+		phCfg.MaxCycles = ChaosMaxCycles
+	}
+	for _, c := range phaseSuite(o) {
+		if c.name == "zipf-uniform" {
+			continue // the hot rows are the reconcile-seam guarantee
+		}
+		specs = append(specs, runner.Spec{Label: c.name + "/phase", Source: c.src, Config: phCfg})
 	}
 	return specs
 }

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPhaseAmortization pins BENCH_9's headline property: under the
+// transition-cost model, the permanently-hot rows every earlier dispatch
+// refinement left at exactly 1.00× — falseshare and zipf-hot — finally
+// amortize, by banking split-page accesses instead of paying the
+// per-access clean call; and in EVERY row, hot or joined, the findings
+// are byte-identical to inline dispatch.
+func TestPhaseAmortization(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.Deterministic = true
+	rows, err := PhaseAmortization(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byName := map[string]PhaseRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.FindingsIdentical {
+			t.Errorf("%s: phased findings diverge from inline", r.Name)
+		}
+		if r.CycleSpeedup < 1 {
+			t.Errorf("%s: phased dispatch regressed (%.2fx)", r.Name, r.CycleSpeedup)
+		}
+		if r.PagesSplit == 0 && (r.Banked != 0 || r.Reconciles != 0 || r.CycleSpeedup != 1) {
+			t.Errorf("%s: joined row shows phase activity (banked=%d reconciles=%d speedup=%.2fx)",
+				r.Name, r.Banked, r.Reconciles, r.CycleSpeedup)
+		}
+		if r.InlineWallNS != 0 || r.PhasedWallNS != 0 {
+			t.Errorf("%s: deterministic report carries wall-clock", r.Name)
+		}
+	}
+	// The headline rows: permanently-hot pages must split and win.
+	for _, name := range []string{"falseshare", "zipf-hot"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		if r.PagesSplit == 0 || r.Banked == 0 || r.Reconciles == 0 {
+			t.Errorf("%s: hot page never split (split=%d banked=%d reconciles=%d)",
+				name, r.PagesSplit, r.Banked, r.Reconciles)
+		}
+		if r.CycleSpeedup <= 1 {
+			t.Errorf("%s: split phases did not amortize (speedup %.2fx)", name, r.CycleSpeedup)
+		}
+		if r.BankedFrac <= 0 || r.BankedFrac > 1 {
+			t.Errorf("%s: banked fraction %.3f out of range", name, r.BankedFrac)
+		}
+	}
+	var buf bytes.Buffer
+	WritePhaseAmortization(&buf, rows)
+	if !strings.Contains(buf.String(), "geomean cycle speedup") {
+		t.Error("rendering incomplete")
+	}
+}
+
+// TestPhaseJSON pins the BENCH_9.json document shape: schema, the cost
+// and policy stamps, the geomean, and a clean JSON round-trip.
+func TestPhaseJSON(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.Deterministic = true
+	rep, err := PhaseJSON(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "aikido-phase-bench/v1" || rep.Geomean <= 1 || !rep.FindingsIdentical {
+		t.Errorf("report schema/geomean/findings: %q %.2f %v",
+			rep.Schema, rep.Geomean, rep.FindingsIdentical)
+	}
+	if rep.Costs.PhaseReconcileBase == 0 || rep.Costs.PhaseBankRecord == 0 ||
+		rep.Costs.AnalysisDispatch == 0 {
+		t.Error("report does not record the transition-cost model it ran under")
+	}
+	if rep.Policy.SplitAfter == 0 || rep.Policy.MinHotHits == 0 {
+		t.Error("report does not record the phase policy it ran under")
+	}
+	var buf bytes.Buffer
+	if err := WritePhaseJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round PhaseReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	// The regression gate must accept the schema (BENCH_9.json is in CI's
+	// -compare list).
+	tmp := t.TempDir() + "/bench9.json"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(tmp)
+	if err != nil {
+		t.Fatalf("regression gate rejects the phase schema: %v", err)
+	}
+	if snap.Speedup != rep.Geomean {
+		t.Errorf("gate read speedup %.3f, report says %.3f", snap.Speedup, rep.Geomean)
+	}
+}
+
+// TestBenchJSONPhasedByteIdentical is the CI phased-equivalence-leg
+// contract in unit form: under the default cost model — where banking
+// and reconciliation are charge-free and delivery is order-preserving —
+// the deterministic bench report produced with phased dispatch is
+// byte-identical to the inline baseline, even on models whose hot pages
+// split mid-run.
+func TestBenchJSONPhasedByteIdentical(t *testing.T) {
+	base := DefaultOptions()
+	base.Scale = 0.25
+	base.Deterministic = true
+	render := func(o Options) string {
+		t.Helper()
+		rep, err := BenchJSON(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBenchJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	inline := render(base)
+	phasedOpts := base
+	phasedOpts.Dispatch = core.DispatchPhased
+	if phased := render(phasedOpts); phased != inline {
+		t.Error("phased-dispatch bench report diverges from the inline baseline")
+	}
+}
+
+// TestPhaseJSONDeterministicAcrossWorkers: the BENCH_9 report is
+// byte-identical at any runner pool size.
+func TestPhaseJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		t.Helper()
+		o := DefaultOptions()
+		o.Scale = 0.25
+		o.Deterministic = true
+		o.Workers = workers
+		rep, err := PhaseJSON(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WritePhaseJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render(1) != render(8) {
+		t.Error("phase report differs between -workers 1 and -workers 8")
+	}
+}

@@ -224,3 +224,14 @@ func (d *Detector) contFallback(r *analysis.AccessRecord) {
 		}
 	}
 }
+
+// OnPhaseReconcile implements analysis.PhaseReconciler: the split-phase
+// reconciliation merge of phased dispatch (Doppel-style split epochs).
+// The records were banked in per-thread delta rings while their pages
+// were hot/split and arrive k-way-merged back into canonical (seq, addr,
+// kind) order, so delegating to the grouped kernel reconciles the
+// FastTrack shadow state — vector clocks, epochs, read sets — exactly as
+// inline delivery would have written it, one batch later.
+func (d *Detector) OnPhaseReconcile(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	d.OnAccessGroups(recs, groups)
+}

@@ -9,6 +9,12 @@
 // identically everywhere. MergeShards folds everything back into the
 // primary so the run can finish — or continue inline after a worker
 // fault — exactly as if a single detector had seen the whole stream.
+//
+// Split phases (phased dispatch) compose trivially with sharding: a
+// reconciliation merge is always a full-pipeline drain, so banked deltas
+// are reconciled — through OnPhaseReconcile, on the primary — strictly
+// before any shard fan-out, phase flip or sync broadcast could observe
+// their pages.
 package fasttrack
 
 import (

@@ -33,6 +33,12 @@
 //	           in seq order; panics unwind to containment.
 //	analysis — every analysis-bound access event (the outermost dispatch
 //	           wrapper).
+//	reconcile — the phased dispatch pipeline's split-phase reconciliation
+//	           merge (fires only when banked deltas are pending). Errors
+//	           degrade: the already-merged batch replays inline in seq
+//	           order and the run latches inline delivery — no banked
+//	           record is lost or duplicated; panics unwind to
+//	           containment.
 //
 // Seams without an error return (provider, analysis) escalate error-kind
 // faults to panics; the recovered value is still a typed *Fault, so the
@@ -61,6 +67,10 @@ const (
 	SeamWorker
 	// SeamAnalysis fires once per analysis-bound access event.
 	SeamAnalysis
+	// SeamReconcile fires once per phased-dispatch reconciliation merge —
+	// the split-phase boundary where banked per-thread deltas k-way-merge
+	// back into canonical order — and only when deltas are pending.
+	SeamReconcile
 
 	numSeams
 )
@@ -78,6 +88,8 @@ func (s Seam) String() string {
 		return "worker"
 	case SeamAnalysis:
 		return "analysis"
+	case SeamReconcile:
+		return "reconcile"
 	}
 	return "seam?"
 }
@@ -95,8 +107,10 @@ func ParseSeam(s string) (Seam, error) {
 		return SeamWorker, nil
 	case "analysis":
 		return SeamAnalysis, nil
+	case "reconcile":
+		return SeamReconcile, nil
 	}
-	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain, worker or analysis)", s)
+	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain, worker, analysis or reconcile)", s)
 }
 
 // Kind is the manifestation of an injected fault.
@@ -200,8 +214,8 @@ func splitmix64(x uint64) uint64 {
 //
 //	[seed=N;]KIND:SEAM[@COUNT][;KIND:SEAM[@COUNT]...]
 //
-// KIND is panic, error or stall; SEAM is provider, guest, drain, worker
-// or analysis; COUNT is the 1-based seam crossing to fire on. A rule with
+// KIND is panic, error or stall; SEAM is provider, guest, drain, worker,
+// analysis or reconcile; COUNT is the 1-based seam crossing to fire on. A rule with
 // no @COUNT gets a deterministic count derived from the seed and the
 // rule's position via splitmix64, so "seed=7;panic:analysis" names one
 // exact fault without spelling the crossing. The empty string is the

@@ -187,3 +187,13 @@ func (d *Detector) retireTail(tid guest.TID, block uint64, write bool, n, vecCos
 		d.clock.Charge(n * (d.contention() + scalar))
 	}
 }
+
+// OnPhaseReconcile implements analysis.PhaseReconciler: the split-phase
+// reconciliation merge of phased dispatch (Doppel-style split epochs).
+// Banked records arrive in canonical (seq, addr, kind) order, so the
+// grouped kernel folds them into the per-address lockset state exactly
+// as inline delivery would have — locksets only shrink at sync events,
+// and reconciliation always completes before the next one is delivered.
+func (d *Detector) OnPhaseReconcile(recs []analysis.AccessRecord, groups []analysis.AccessGroup) {
+	d.OnAccessGroups(recs, groups)
+}

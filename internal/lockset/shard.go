@@ -3,6 +3,10 @@
 // disjoint pages (so disjoint variable metadata), sync events are
 // broadcast (so held-lock sets evolve identically everywhere), and
 // MergeShards restores the exact single-detector state.
+//
+// Split phases (phased dispatch) compose trivially: reconciliation is a
+// full-pipeline drain, so banked deltas land — via OnPhaseReconcile, on
+// the primary — strictly before any shard fan-out or sync broadcast.
 package lockset
 
 import (

@@ -1,0 +1,161 @@
+package sharing
+
+// Doppel-style split phases for hot pages. Epoch re-privatization
+// (epoch.go) rescues pages that go effectively private, but a page
+// written by MANY threads every epoch — false sharing, a contended
+// counter, the hot rank of a Zipf-skewed region — is hot forever: it
+// never demotes, every access pays the full per-access transition into
+// the analysis runtime, and every optimization that reorders WHEN
+// analysis work happens leaves it at exactly 1.00×.
+//
+// Doppel (Narula et al., OSDI 2014) solves the same shape for contended
+// database keys: a coordinator flips contended keys into a *split
+// phase*, during which cores accumulate operations in per-core local
+// stores instead of fighting over the canonical record, and a
+// *reconciliation* merge folds the local deltas back into canonical
+// state at the phase boundary — correct because the split operations
+// commute and the boundary is a barrier. This file is the classifier
+// and phase state for the Aikido analogue:
+//
+//   - The owner-dominance counters the epoch sweep already keeps are
+//     extended with per-epoch WRITER accounting (first writer vs writes
+//     by everyone else), so the sweep can classify a Shared page as
+//     *hot*: many-writer, every epoch, above the policy's volume floor.
+//   - A hot streak of SplitAfter epochs flips the page into the split
+//     phase (pageInfo.split); a calm streak of JoinAfter epochs flips it
+//     back to joined. Flips happen ONLY inside EpochSweep — never on the
+//     access path — and internal/core reconciles banked deltas BEFORE
+//     every sweep, so a page's banked records are always delivered under
+//     the phase the page had when they were banked.
+//   - While split, the detector routes the page's accesses to the
+//     PhaseBanker (core's phased dispatch pipeline) instead of the
+//     inline analysis surface; the banker stores them in private
+//     per-thread delta rings and replays them, k-way-merged into
+//     canonical global order, at the next reconcile point.
+//
+// The soundness argument mirrors the grace-epoch rule: a banked access
+// is never dropped, only delayed, and every delay ends strictly before
+// the next phase flip, sync event, VMA change or demotion — the
+// boundary access is always analyzed. See docs/phases.md.
+
+import (
+	"repro/internal/guest"
+	"repro/internal/isa"
+)
+
+// PhasePolicy parameterizes split-phase classification of hot Shared
+// pages. The zero value disables the mechanism entirely.
+type PhasePolicy struct {
+	// SplitAfter is the number of consecutive hot epochs before a Shared
+	// page flips into the split phase. 0 disables splitting.
+	SplitAfter uint8
+	// JoinAfter is the number of consecutive calm (not-hot) epochs
+	// before a split page rejoins. 0 is treated as 1.
+	JoinAfter uint8
+	// MinHotHits is the minimum number of instrumented accesses a page
+	// must take in an epoch for that epoch to count as hot — the volume
+	// floor that keeps lightly-shared pages (every PARSEC model) out of
+	// the split phase. 0 is treated as 1.
+	MinHotHits uint32
+	// MinOtherWrites is the minimum number of writes by threads OTHER
+	// than the epoch's first writer — the many-writer test. A page one
+	// thread writes and others only read is a demotion candidate, not a
+	// split candidate. 0 is treated as 1.
+	MinOtherWrites uint32
+}
+
+// Enabled reports whether the policy splits at all.
+func (p PhasePolicy) Enabled() bool { return p.SplitAfter > 0 }
+
+// DefaultPhasePolicy is the calibrated default. The discriminator is
+// PERSISTENCE, not volume: a genuinely hot page (false sharing, a
+// contended counter, a Zipf head rank) is many-writer in EVERY epoch
+// from first touch to exit, while burstier sharing goes calm before a
+// long streak completes — so the policy demands a four-epoch unbroken
+// hot streak before splitting, with volume floors low enough that a
+// modestly hot page still qualifies each epoch. A PARSEC model page
+// that sustains the streak splits legitimately: findings stay
+// byte-identical by construction (reconcile-before-boundary), the
+// banked work simply gets cheaper under the transition-cost model, and
+// under the default (all-zero) cost model the whole mechanism is
+// charge-free — CI pins phased reports byte-identical to inline there.
+func DefaultPhasePolicy() PhasePolicy {
+	return PhasePolicy{
+		SplitAfter:     4,
+		JoinAfter:      2,
+		MinHotHits:     48,
+		MinOtherWrites: 16,
+	}
+}
+
+// PhaseBanker is the split-phase delivery surface the detector routes a
+// split page's accesses to — implemented by internal/core's phased
+// dispatch pipeline, which banks each access as a compact record in the
+// acting thread's private delta ring. The banker owns the reconcile
+// schedule; the detector only guarantees it never flips a page's phase
+// between a bank and the next reconcile (flips happen only in
+// EpochSweep, and core reconciles first).
+type PhaseBanker interface {
+	OnSplitAccess(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool)
+}
+
+// EnablePhases arms split-phase classification: policy thresholds
+// normalized, the banker wired. Requires an enabled epoch policy
+// (EnableEpochs first) — the classifier lives in the epoch sweep — and
+// a non-nil banker; otherwise phases stay off and the detector behaves
+// exactly as before.
+func (d *Detector) EnablePhases(p PhasePolicy, b PhaseBanker) {
+	if p.JoinAfter == 0 {
+		p.JoinAfter = 1
+	}
+	if p.MinHotHits == 0 {
+		p.MinHotHits = 1
+	}
+	if p.MinOtherWrites == 0 {
+		p.MinOtherWrites = 1
+	}
+	d.phase = p
+	d.banker = b
+	d.phaseOn = d.epochOn && p.Enabled() && b != nil
+}
+
+// SplitPages reports how many pages are currently in the split phase.
+func (d *Detector) SplitPages() int { return d.nsplit }
+
+// classifyPhase folds one closed epoch's writer accounting into the
+// page's hot/calm streaks and flips its phase when a streak crosses the
+// policy threshold. Called from EpochSweep only — after the banked
+// deltas of the closing epoch have been reconciled (core drains before
+// sweeping), so a flip can never strand or reorder a banked record.
+func (d *Detector) classifyPhase(pi *pageInfo) {
+	hot := pi.epochWTID != guest.NoTID &&
+		pi.epochWOther >= d.phase.MinOtherWrites &&
+		pi.epochHits+pi.epochOther >= d.phase.MinHotHits
+	if hot {
+		if pi.hotEpochs < 255 {
+			pi.hotEpochs++
+		}
+		pi.calmEpochs = 0
+		if !pi.split && pi.hotEpochs >= d.phase.SplitAfter {
+			pi.split = true
+			d.nsplit++
+			d.C.PagesSplit++
+		}
+		return
+	}
+	if pi.calmEpochs < 255 {
+		pi.calmEpochs++
+	}
+	pi.hotEpochs = 0
+	if pi.split && pi.calmEpochs >= d.phase.JoinAfter {
+		d.clearSplit(pi)
+	}
+}
+
+// clearSplit rejoins a split page (calm streak, demotion, or re-share).
+func (d *Detector) clearSplit(pi *pageInfo) {
+	pi.split = false
+	pi.hotEpochs, pi.calmEpochs = 0, 0
+	d.nsplit--
+	d.C.PagesJoined++
+}

@@ -170,6 +170,27 @@ type CostModel struct {
 	// model of genuinely concurrent shards that BENCH_8 measures.
 	ParallelDrainBase uint64
 	ParallelShardJoin uint64
+	// PhaseReconcileBase and PhaseBankRecord model Doppel-style split
+	// phases for hot pages, and together form the phase-charging switch.
+	// During a split phase, an access to a hot page is *banked* as a
+	// compact record in the acting thread's private delta ring instead of
+	// entering the analysis runtime; PhaseBankRecord is that ring store —
+	// one struct write into thread-local memory, no clean call, no shared
+	// metadata touched — charged once per banked record (banking happens
+	// once regardless of how many analyses are hosted). At a phase flip
+	// (sync hook, VMA change, epoch sweep — the existing full-barrier
+	// drain points) the banked deltas k-way-merge back into canonical
+	// global order and replay through the analyses; PhaseReconcileBase is
+	// the per-analysis cost of entering that reconciliation merge.
+	// When both are 0 (DefaultCosts) nothing phase-related is charged, so
+	// workloads whose pages never run hot stay byte-identical — findings,
+	// counters and cycles — with phases enabled. Under DispatchCosts the
+	// pair prices what split phases amortize: the per-access
+	// AnalysisDispatch clean call (150 × N analyses) that hot many-writer
+	// pages otherwise pay forever — the falseshare cell BENCH_9 finally
+	// moves above 1.00×.
+	PhaseReconcileBase uint64
+	PhaseBankRecord    uint64
 }
 
 // DefaultCosts returns the calibrated default cost model.
@@ -239,6 +260,13 @@ func DispatchCosts() CostModel {
 	// small so shard-imbalanced (Zipf-skewed) workloads still amortize.
 	c.ParallelDrainBase = 60
 	c.ParallelShardJoin = 12
+	// Phase terms: banking one record into a thread-private delta ring is
+	// one struct store into a warm cache line (no clean call, no shared
+	// state), and entering the reconciliation merge at a phase boundary
+	// costs the same order as any other batched entry into the analysis
+	// runtime.
+	c.PhaseReconcileBase = 120
+	c.PhaseBankRecord = 3
 	return c
 }
 
