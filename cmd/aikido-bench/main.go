@@ -8,10 +8,11 @@
 //
 //	aikido-bench [-experiment all|fig5|fig6|table1|table2|ablation|paging|
 //	              switch|providers|detectors|muxbench|epochs|deferred|vector|
-//	              parallel|phase|scaling|nondet|stm|crew]
+//	              parallel|phase|static|scaling|nondet|stm|crew]
 //	             [-scale F] [-threads N] [-workers N] [-json FILE]
 //	             [-muxjson FILE] [-epochjson FILE] [-deferredjson FILE]
 //	             [-vecjson FILE] [-paralleljson FILE] [-phasejson FILE]
+//	             [-staticjson FILE]
 //	             [-epoch] [-dispatch inline|deferred|vectorized|parallel|phased]
 //	             [-analysis-workers N]
 //	             [-analysis NAME[,NAME...]] [-deterministic]
@@ -83,6 +84,17 @@
 // split-phase win on permanently-hot pages (falseshare, zipf-hot) under
 // the transition-cost model, with every PARSEC model as guard rail.
 //
+// The static experiment (and -staticjson, the BENCH_10.json source)
+// measures the static privacy pre-pass (internal/staticanalysis): the
+// same Aikido FastTrack cell with pure dynamic classification vs the
+// pre-pass pruning provably-private PCs and pre-seeding single-owner
+// pages, over every PARSEC model (the guard rail) plus a
+// startup-dominated private suite (the headline — the win amortizes over
+// thread creation and first touches, not steady-state iterations). The
+// experiment doubles as CI's static equivalence leg: it exits nonzero if
+// any row's findings diverge between the two cells, a soundness tripwire
+// fires, or the pass unexpectedly falls back.
+//
 // -experiment chaos is the fault-isolation acceptance harness and is NOT
 // part of "all": it runs the chaos matrix (every Figure-5 model×mode cell
 // plus the epoch suite's demoting workloads, the Zipf parallel cells and
@@ -113,7 +125,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, parallel, phase, scaling, nondet, stm, crew")
+	exp := flag.String("experiment", "all", "which experiment: all, fig5, fig6, table1, table2, ablation, paging, switch, providers, detectors, muxbench, epochs, deferred, vector, parallel, phase, static, scaling, nondet, stm, crew")
 	scale := flag.Float64("scale", 1.0, "workload size multiplier (1.0 = simsmall-scaled default)")
 	threads := flag.Int("threads", 0, "override worker threads (0 = benchmark default, 8)")
 	workers := flag.Int("workers", runtime.NumCPU(), "runner pool size for the experiment sweep (results are identical at any value)")
@@ -124,6 +136,7 @@ func main() {
 	vecOut := flag.String("vecjson", "", "write the batch-vectorization report (BENCH_7.json snapshots) to this file (\"-\" = stdout)")
 	parOut := flag.String("paralleljson", "", "write the parallel-analysis fan-out report (BENCH_8.json snapshots) to this file (\"-\" = stdout)")
 	phaseOut := flag.String("phasejson", "", "write the split-phase hot-page report (BENCH_9.json snapshots) to this file (\"-\" = stdout)")
+	staticOut := flag.String("staticjson", "", "write the static privacy pre-pass report (BENCH_10.json snapshots) to this file (\"-\" = stdout)")
 	epoch := flag.Bool("epoch", false, "enable epoch-based re-privatization in every Aikido cell (CI diffs this against the baseline)")
 	dispatch := flag.String("dispatch", "inline", "analysis dispatch mode for every analysis-bearing cell: inline, deferred, vectorized, parallel or phased (CI diffs every non-inline mode against the inline baseline)")
 	analysisWorkers := flag.Int("analysis-workers", 0, "with -dispatch parallel: analysis worker goroutines per cell (<1 = 1; reports are byte-identical at any value)")
@@ -189,11 +202,11 @@ func main() {
 		return f
 	}
 
-	// -json, -muxjson, -epochjson, -deferredjson, -vecjson, -paralleljson
-	// and -phasejson each replace the text experiments; given together,
-	// every requested report is produced.
+	// -json, -muxjson, -epochjson, -deferredjson, -vecjson, -paralleljson,
+	// -phasejson and -staticjson each replace the text experiments; given
+	// together, every requested report is produced.
 	if *jsonOut != "" || *muxOut != "" || *epochOut != "" || *deferredOut != "" ||
-		*vecOut != "" || *parOut != "" || *phaseOut != "" {
+		*vecOut != "" || *parOut != "" || *phaseOut != "" || *staticOut != "" {
 		if *jsonOut != "" {
 			rep, err := experiments.BenchJSON(o)
 			if err != nil {
@@ -295,6 +308,21 @@ func main() {
 				defer out.Close()
 			}
 			if err := experiments.WritePhaseJSON(out, rep); err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *staticOut != "" {
+			rep, err := experiments.StaticJSON(o)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "aikido-bench: staticjson: %v\n", err)
+				os.Exit(1)
+			}
+			out := openOut(*staticOut)
+			if out != os.Stdout {
+				defer out.Close()
+			}
+			if err := experiments.WriteStaticJSON(out, rep); err != nil {
 				fmt.Fprintf(os.Stderr, "aikido-bench: %v\n", err)
 				os.Exit(1)
 			}
@@ -431,6 +459,28 @@ func main() {
 			return err
 		}
 		experiments.WritePhaseAmortization(w, rows)
+		return nil
+	})
+	run("static", func() error {
+		rows, err := experiments.StaticAmortization(o)
+		if err != nil {
+			return err
+		}
+		experiments.WriteStaticAmortization(w, rows)
+		// The static experiment doubles as the CI equivalence leg: any
+		// findings divergence, tripwire or unexpected fallback is a
+		// soundness failure, not a performance result.
+		for _, r := range rows {
+			if !r.FindingsIdentical {
+				return fmt.Errorf("%s: findings diverge between dynamic and static cells", r.Name)
+			}
+			if r.Tripwires > 0 {
+				return fmt.Errorf("%s: %d soundness tripwires fired", r.Name, r.Tripwires)
+			}
+			if r.Fallback != "" {
+				return fmt.Errorf("%s: static pass fell back: %s", r.Name, r.Fallback)
+			}
+		}
 		return nil
 	})
 	run("scaling", func() error {

@@ -71,7 +71,7 @@ func (s *System) checkQuantum() error {
 		}
 	}
 	if max := s.Cfg.MaxWall; max > 0 && !s.wallStart.IsZero() {
-		if el := time.Since(s.wallStart); el > max {
+		if el := time.Since(s.wallStart); el > max { //detlint:ok MaxWall is a safety budget, documented as non-deterministic
 			return &BudgetError{Resource: "wall", Limit: uint64(max), Used: uint64(el)}
 		}
 	}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestStaticAmortization pins BENCH_10's headline property: on the
+// startup-dominated private suite the pre-pass wins (pruned PCs and
+// pre-seeded pages replace faults and instrumentation), the PARSEC guard
+// rail never regresses, no row trips a soundness tripwire or falls back,
+// and in EVERY row the findings are identical to the dynamic baseline.
+func TestStaticAmortization(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.Deterministic = true
+	rows, err := StaticAmortization(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	byName := map[string]StaticRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+		if !r.FindingsIdentical {
+			t.Errorf("%s: static findings diverge from dynamic", r.Name)
+		}
+		if r.Fallback != "" {
+			t.Errorf("%s: pass fell back: %s", r.Name, r.Fallback)
+		}
+		if r.Tripwires != 0 {
+			t.Errorf("%s: %d tripwires on a sound pass", r.Name, r.Tripwires)
+		}
+		if r.PrunedPCs == 0 {
+			t.Errorf("%s: pass proved nothing — the row is vacuous", r.Name)
+		}
+		if r.CycleSpeedup < 0.999 {
+			t.Errorf("%s: static pre-pass regressed (%.3fx)", r.Name, r.CycleSpeedup)
+		}
+		if r.DynamicWallNS != 0 || r.StaticWallNS != 0 {
+			t.Errorf("%s: deterministic report carries wall-clock", r.Name)
+		}
+	}
+	// The headline rows: startup-dominated private workloads must win
+	// outright through pre-seeded stacks and bookkeeping pages.
+	for _, name := range []string{"startup-priv", "priv-wide"} {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("row %q missing", name)
+		}
+		if r.PreSeededPages == 0 {
+			t.Errorf("%s: nothing pre-seeded", name)
+		}
+		if r.CycleSpeedup <= 1 {
+			t.Errorf("%s: pre-pass did not amortize (speedup %.3fx)", name, r.CycleSpeedup)
+		}
+	}
+	var buf bytes.Buffer
+	WriteStaticAmortization(&buf, rows)
+	if !strings.Contains(buf.String(), "geomean cycle speedup") {
+		t.Error("rendering incomplete")
+	}
+}
+
+// TestStaticJSON pins the BENCH_10.json document shape: schema, the
+// cost stamp, geomean above 1.0, zero tripwires, and acceptance by the
+// regression gate's snapshot reader.
+func TestStaticJSON(t *testing.T) {
+	o := DefaultOptions()
+	o.Scale = 0.25
+	o.Deterministic = true
+	rep, err := StaticJSON(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "aikido-static-bench/v1" || rep.Geomean <= 1 ||
+		!rep.FindingsIdentical || rep.Tripwires != 0 {
+		t.Errorf("report schema/geomean/findings/tripwires: %q %.3f %v %d",
+			rep.Schema, rep.Geomean, rep.FindingsIdentical, rep.Tripwires)
+	}
+	if rep.Costs.Fault == 0 || rep.Costs.Hypercall == 0 || rep.Costs.InstrumentedExec == 0 {
+		t.Error("report does not record the cost model it ran under")
+	}
+	var buf bytes.Buffer
+	if err := WriteStaticJSON(&buf, rep); err != nil {
+		t.Fatal(err)
+	}
+	var round StaticReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	// The regression gate must accept the schema (BENCH_10.json is in
+	// CI's -compare list).
+	tmp := t.TempDir() + "/bench10.json"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSnapshot(tmp)
+	if err != nil {
+		t.Fatalf("regression gate rejects the static schema: %v", err)
+	}
+	if snap.Speedup != rep.Geomean {
+		t.Errorf("gate read speedup %.3f, report says %.3f", snap.Speedup, rep.Geomean)
+	}
+}
+
+// TestStaticJSONDeterministicAcrossWorkers: the BENCH_10 report is
+// byte-identical at any runner pool size.
+func TestStaticJSONDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		t.Helper()
+		o := DefaultOptions()
+		o.Scale = 0.25
+		o.Deterministic = true
+		o.Workers = workers
+		rep, err := StaticJSON(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteStaticJSON(&buf, rep); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render(1) != render(8) {
+		t.Error("static report differs between -workers 1 and -workers 8")
+	}
+}

@@ -39,6 +39,10 @@
 //	           order and the run latches inline delivery — no banked
 //	           record is lost or duplicated; panics unwind to
 //	           containment.
+//	static   — once before the static privacy pre-pass runs. Errors and
+//	           panics both degrade the run to the unpruned dynamic-only
+//	           path (no summary applied, nothing pre-seeded); findings
+//	           are unaffected by construction.
 //
 // Seams without an error return (provider, analysis) escalate error-kind
 // faults to panics; the recovered value is still a typed *Fault, so the
@@ -71,6 +75,10 @@ const (
 	// the split-phase boundary where banked per-thread deltas k-way-merge
 	// back into canonical order — and only when deltas are pending.
 	SeamReconcile
+	// SeamStatic fires once before the static privacy pre-pass runs.
+	// Errors (and recovered panics) degrade the run to the unpruned
+	// dynamic-only path: no summary is applied, nothing is pre-seeded.
+	SeamStatic
 
 	numSeams
 )
@@ -90,6 +98,8 @@ func (s Seam) String() string {
 		return "analysis"
 	case SeamReconcile:
 		return "reconcile"
+	case SeamStatic:
+		return "static"
 	}
 	return "seam?"
 }
@@ -109,8 +119,10 @@ func ParseSeam(s string) (Seam, error) {
 		return SeamAnalysis, nil
 	case "reconcile":
 		return SeamReconcile, nil
+	case "static":
+		return SeamStatic, nil
 	}
-	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain, worker, analysis or reconcile)", s)
+	return 0, fmt.Errorf("faultinject: unknown seam %q (want provider, guest, drain, worker, analysis, reconcile or static)", s)
 }
 
 // Kind is the manifestation of an injected fault.

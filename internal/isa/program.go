@@ -1,6 +1,9 @@
 package isa
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Guest syscall numbers (the Imm operand of a Syscall instruction).
 // Arguments are taken from R0..R3 and the result is placed in R0.
@@ -149,11 +152,15 @@ func (p *Program) Valid() error {
 }
 
 // Disassemble renders the whole program, one instruction per line, with
-// label annotations. Intended for debugging workload generators.
+// label annotations. Intended for debugging workload generators. Output
+// is deterministic: labels sharing a PC are emitted in sorted order.
 func (p *Program) Disassemble() string {
 	byPC := make(map[PC][]string)
 	for name, pc := range p.Labels {
 		byPC[pc] = append(byPC[pc], name)
+	}
+	for _, names := range byPC {
+		sort.Strings(names)
 	}
 	var out []byte
 	for pc, in := range p.Code {

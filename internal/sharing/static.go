@@ -1,0 +1,151 @@
+package sharing
+
+import (
+	"fmt"
+
+	"repro/internal/dbi"
+	"repro/internal/guest"
+	"repro/internal/isa"
+	"repro/internal/staticanalysis"
+	"repro/internal/vm"
+)
+
+// This file is the detector side of the static privacy pre-pass
+// (internal/staticanalysis): applying a summary prunes instrumentation of
+// ProvenPrivate PCs and pre-seeds statically single-owner pages as
+// Private(owner), so neither ever pays the dynamic classification toll.
+// Both consumers keep the page protections installed — the protections
+// are the safety net that makes a wrong proof loud (a tripwire) instead
+// of a lost finding.
+
+// mainTID is the guest main thread (always the first TID allocated).
+const mainTID = guest.TID(1)
+
+// StaticTripwireError reports a statically-pruned access observing a
+// page it was proven unable to reach — a refuted privacy proof. Raised
+// as a panic value in verify mode (the run hard-fails); in normal mode
+// the detector counts, un-prunes and self-heals instead.
+type StaticTripwireError struct {
+	PC   isa.PC
+	Addr uint64
+	TID  guest.TID
+}
+
+func (e *StaticTripwireError) Error() string {
+	return fmt.Sprintf("sharing: static tripwire: pruned pc %d reached shared page %#x as thread %d",
+		e.PC, e.Addr, e.TID)
+}
+
+// ApplyStaticSummary installs a static privacy summary: prunes
+// instrumentation of ProvenPrivate PCs and pre-seeds single-owner pages.
+// Must be called after Attach and before the engine runs. A degraded
+// summary applies as a no-op (its Class array proves nothing).
+func (d *Detector) ApplyStaticSummary(sum *staticanalysis.Summary, verify bool) {
+	if sum == nil {
+		return
+	}
+	d.static = sum
+	d.staticVerify = verify
+
+	d.pruned = make([]uint64, (len(sum.Class)+63)/64)
+	for pc, c := range sum.Class {
+		if c == staticanalysis.ProvenPrivate {
+			d.pruned[pc>>6] |= 1 << (uint(pc) & 63)
+		}
+	}
+	d.C.PCsStaticallyPruned = uint64(sum.PrunedPCs)
+
+	// Pre-seed the main thread's single-accessor data pages.
+	for _, vpn := range sum.MainPages {
+		d.preSeedPage(mainTID, vpn)
+	}
+	// Stacks that already exist fired VMAAdded before the summary was
+	// applied (the main stack is created at process load); later stacks
+	// pre-seed from VMAAdded as they appear.
+	for _, v := range d.p.VMAs() {
+		if v.Kind == guest.VMAStack && v.Owner != guest.NoTID {
+			d.preSeedStack(v)
+		}
+	}
+}
+
+// preSeedStack installs Private(owner) on the statically-touched pages of
+// one thread's stack VMA. The offsets are empty unless the pass proved
+// the whole program stack-clean, so a dirty program pre-seeds nothing.
+func (d *Detector) preSeedStack(v *guest.VMA) {
+	if d.static == nil {
+		return
+	}
+	offs := d.static.StackOffsetsSpawn
+	if v.Owner == mainTID {
+		offs = d.static.StackOffsetsMain
+	}
+	base := vm.PageNum(v.Base)
+	for _, off := range offs {
+		if off < 0 || off >= v.Pages {
+			continue
+		}
+		d.preSeedPage(v.Owner, base+uint64(off))
+	}
+}
+
+// preSeedPage performs one Unused→Private(owner) transition without a
+// fault: the page-state write plus the one hypercall that grants the
+// owner access (everyone else stays protected — the safety net).
+func (d *Detector) preSeedPage(owner guest.TID, vpn uint64) {
+	pi := d.pages.Get(owner, vpn<<vm.PageShift)
+	if pi == nil || pi.State != Unused {
+		return
+	}
+	pi.State = Private
+	pi.Owner = owner
+	pi.preSeeded = true
+	d.C.PagesPrivate++
+	d.C.PagesPreSeeded++
+	d.prov.UnprotectForThread(owner, vpn)
+}
+
+// isPruned tests the static ProvenPrivate bitmap.
+func (d *Detector) isPruned(pc isa.PC) bool {
+	w := int(pc >> 6)
+	return w < len(d.pruned) && d.pruned[w]&(1<<(uint(pc)&63)) != 0
+}
+
+// unprune clears one PC's pruned bit (tripwire self-heal).
+func (d *Detector) unprune(pc isa.PC) {
+	if w := int(pc >> 6); w < len(d.pruned) {
+		d.pruned[w] &^= 1 << (uint(pc) & 63)
+	}
+}
+
+// tripwire fires when a pruned PC participates in a sharing transition —
+// something the privacy proof said was impossible. Verify mode hard-fails
+// the run; the normal path counts the refutation, un-prunes the PC and
+// lets the caller instrument it (self-heal: the page protections already
+// guaranteed no finding was lost, the PC merely rejoins the dynamic
+// path).
+func (d *Detector) tripwire(tid guest.TID, pc isa.PC, addr uint64) {
+	if !d.isPruned(pc) {
+		return
+	}
+	if d.staticVerify {
+		panic(&StaticTripwireError{PC: pc, Addr: addr, TID: tid})
+	}
+	d.C.StaticTripwires++
+	d.unprune(pc)
+}
+
+// tripwirePlan is the verify-mode instrumentation of a pruned PC: no
+// charges, no analysis — only the assertion that the access never
+// observes a Shared page. (Outside verify mode pruned PCs get no plan at
+// all; cycle costs are part of the benchmark contract, assertions are
+// not.)
+func (d *Detector) tripwirePlan() *dbi.Plan {
+	return &dbi.Plan{PreAccess: func(tid guest.TID, pc isa.PC, addr uint64, size uint8, write bool) uint64 {
+		pi := d.pages.Get(tid, addr)
+		if pi != nil && pi.State == Shared {
+			panic(&StaticTripwireError{PC: pc, Addr: addr, TID: tid})
+		}
+		return addr
+	}}
+}

@@ -1,0 +1,1128 @@
+// Package staticanalysis is the ahead-of-time privacy pre-pass over a
+// guest program: a whole-program control-flow graph plus a forward
+// abstract interpretation of the register file that proves, before the
+// first instruction executes, which memory accesses can only ever touch
+// thread-private data.
+//
+// Aikido's runtime bet (paper §3.3) is that most accesses are private, so
+// only shared pages deserve instrumentation — but dynamically every
+// provably-private access still pays the initial toll: the first-touch
+// classification fault, and (for pages that do turn shared) block flushes
+// and PreAccess checks. The ISA was built to preserve exactly the static
+// structure this pass needs — explicit Load/Store with direct vs indirect
+// addressing, and the TP/SP register conventions — so a sound static
+// summary can retire that toll at cycle 0. The summary is pure function
+// of the program, so an `aikidod`-style session can compute it once and
+// reuse it across admissions.
+//
+// The abstract domain is a flat region lattice over 64-bit values:
+//
+//	⊥  —  unreachable / uninitialized
+//	Const[lo,hi]  —  a numeric value (an absolute address when used as one)
+//	TPRel[lo,hi]  —  the acting thread's TP (stack base) plus an offset
+//	SPRel[lo,hi]  —  the acting thread's initial SP plus an offset
+//	⊤  —  anything
+//
+// joined pointwise at control-flow merge points, with interval joins
+// widened to ⊤ after a bounded number of growths so the fixpoint
+// terminates. Conditional branches against constants refine the tested
+// register on both edges, which is what lets bounded loops (the Builder's
+// LoopN shape) converge to tight intervals instead of ⊤.
+//
+// Thread entry points are discovered from the program itself: at every
+// reachable SysThreadCreate site the abstract R0 names the spawn entry
+// (the Builder's ThreadCreate emits a MovImm R0 fixup, so a well-formed
+// program yields a singleton constant) and the abstract R1 joins into the
+// spawn class's incoming argument. A site whose entry is not a singleton
+// constant degrades the whole pass to the all-Unknown summary — an
+// unanalyzable thread could execute anything, so nothing is provable.
+//
+// Soundness of the two consumers (see internal/sharing):
+//
+//   - Pruning: a ProvenPrivate access can only land on pages whose
+//     statically possible accessor set is the acting thread alone, so the
+//     page can never be Shared when the access executes and skipping its
+//     instrumentation hook changes nothing. The runtime keeps the page
+//     protections as a safety net: if the proof were ever wrong the
+//     access would still fault, and the detector's tripwire path catches
+//     a pruned PC faulting on a Shared page (hard fail in verify mode,
+//     counted self-healing otherwise).
+//   - Pre-seeding: a page with exactly one statically possible accessor
+//     thread is Private(owner) in every execution from its first touch to
+//     the end, so installing that state ahead of time elides the
+//     classification fault without changing any analysis-visible access.
+package staticanalysis
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Class is the per-PC verdict of the pass.
+type Class uint8
+
+// Per-PC classifications. Only memory-referencing PCs are ever classified;
+// everything else stays Unknown (the zero value).
+const (
+	// Unknown keeps the dynamic path: the access may be instrumented.
+	Unknown Class = iota
+	// ProvenPrivate: every possible target lands in the acting thread's
+	// stack or on a page with exactly one statically possible accessor
+	// thread. The detector never instruments these PCs.
+	ProvenPrivate
+	// ProvenShared: every possible target page has at least two
+	// statically possible accessor threads. Informational — the dynamic
+	// state machine already handles shared pages exactly.
+	ProvenShared
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case Unknown:
+		return "unknown"
+	case ProvenPrivate:
+		return "private"
+	case ProvenShared:
+		return "shared"
+	}
+	return "class?"
+}
+
+// Summary is the cacheable result of one whole-program pass.
+type Summary struct {
+	// Class holds one verdict per PC (indexed like Program.Code).
+	Class []Class
+	// PrunedPCs counts memory-referencing PCs classified ProvenPrivate —
+	// the PCs the sharing detector will never instrument.
+	PrunedPCs int
+	// SharedPCs counts memory-referencing PCs classified ProvenShared.
+	SharedPCs int
+	// MainPages lists data-segment pages (by virtual page number, sorted)
+	// whose only statically possible accessor is the main thread. The
+	// system pre-seeds them as Private(main) so they never take the
+	// first-touch classification fault.
+	MainPages []uint64
+	// StackOffsetsMain / StackOffsetsSpawn list the page indices within a
+	// stack VMA that the main root (resp. any spawned root) statically
+	// touches through TP/SP-relative accesses, sorted. Stacks are
+	// per-thread by construction, so when StackClean holds these pages
+	// can be pre-seeded Private(owner) as each stack VMA appears.
+	StackOffsetsMain  []int
+	StackOffsetsSpawn []int
+	// StackClean reports that no access anywhere in the program can
+	// escape into another thread's stack: no ⊤-valued or out-of-bounds
+	// access exists and no constant access targets the stack region.
+	// TP/SP-relative accesses are only ProvenPrivate under this flag.
+	StackClean bool
+	// Roots is the number of discovered thread entry points (including
+	// main).
+	Roots int
+	// Degraded carries the reason the pass gave up and returned the
+	// all-Unknown summary ("" when the pass completed).
+	Degraded string
+}
+
+// Pruned reports whether pc is a ProvenPrivate memory reference.
+func (s *Summary) Pruned(pc isa.PC) bool {
+	return int(pc) < len(s.Class) && s.Class[pc] == ProvenPrivate
+}
+
+// lattice value kinds.
+type vkind uint8
+
+const (
+	vBot vkind = iota
+	vConst
+	vTPRel
+	vSPRel
+	vTop
+)
+
+// aval is one abstract value: a kind plus an interval. The interval is
+// meaningful for vConst/vTPRel/vSPRel only.
+type aval struct {
+	k      vkind
+	lo, hi int64
+}
+
+var (
+	botV = aval{k: vBot}
+	topV = aval{k: vTop}
+)
+
+func constV(v int64) aval               { return aval{k: vConst, lo: v, hi: v} }
+func rangeV(k vkind, lo, hi int64) aval { return aval{k: k, lo: lo, hi: hi} }
+
+// singleton reports a one-point constant and its value.
+func (a aval) singleton() (int64, bool) {
+	return a.lo, a.k == vConst && a.lo == a.hi
+}
+
+// norm collapses inverted or width-overflowing intervals to ⊤. Width is
+// otherwise unbounded — huge intervals are harmless (page enumeration has
+// its own maxPagesPerAccess cap) and widening relies on [x, MaxInt64]
+// surviving as a refinable constant interval.
+func norm(a aval) aval {
+	if a.k == vBot || a.k == vTop {
+		return a
+	}
+	if a.lo > a.hi || a.hi-a.lo < 0 {
+		return topV
+	}
+	return a
+}
+
+// join is the lattice join.
+func join(a, b aval) aval {
+	switch {
+	case a.k == vBot:
+		return b
+	case b.k == vBot:
+		return a
+	case a.k == vTop || b.k == vTop || a.k != b.k:
+		return topV
+	}
+	lo, hi := a.lo, a.hi
+	if b.lo < lo {
+		lo = b.lo
+	}
+	if b.hi > hi {
+		hi = b.hi
+	}
+	return norm(aval{k: a.k, lo: lo, hi: hi})
+}
+
+// addSat is saturating interval addition; overflow widens to ⊤ via norm.
+func addV(a, b aval) aval {
+	switch {
+	case a.k == vBot || b.k == vBot:
+		return botV
+	case a.k == vTop || b.k == vTop:
+		return topV
+	case a.k == vConst && b.k == vConst:
+		return normSum(vConst, a, b)
+	case a.k == vConst:
+		return normSum(b.k, b, a) // rel + const
+	case b.k == vConst:
+		return normSum(a.k, a, b) // const + rel
+	}
+	return topV // rel + rel has no region meaning
+}
+
+func normSum(k vkind, a, b aval) aval {
+	lo, lok := addOvf(a.lo, b.lo)
+	hi, hik := addOvf(a.hi, b.hi)
+	if !lok || !hik {
+		return topV
+	}
+	return norm(aval{k: k, lo: lo, hi: hi})
+}
+
+func addOvf(a, b int64) (int64, bool) {
+	s := a + b
+	if (b > 0 && s < a) || (b < 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// state is one program point's abstract register file.
+type state [isa.NumRegs]aval
+
+// joinInto joins o into s, returning whether s changed. With widen set,
+// a register whose interval is still growing jumps its unstable bound to
+// the extreme (the termination guarantee); branch refinement re-clamps
+// loop counters afterwards — widening with thresholds via the BrImm
+// transfer, which is what keeps LoopN bodies precise at any trip count.
+func (s *state) joinInto(o *state, widen bool) bool {
+	changed := false
+	for i := range s {
+		j := join(s[i], o[i])
+		if j == s[i] {
+			continue
+		}
+		if widen {
+			j = widenVal(s[i], j)
+		}
+		if j != s[i] {
+			s[i] = j
+			changed = true
+		}
+	}
+	return changed
+}
+
+// widenVal extrapolates the moving bound(s) of a growing interval. A kind
+// change passes through unchanged (⊥→x is a first value; x→⊤ already
+// absorbs). Each register widens each bound at most once, so the chain
+// ⊥ → intervals → widened → ⊤ is finite.
+func widenVal(old, j aval) aval {
+	if old.k != j.k || j.k == vTop || j.k == vBot {
+		return j
+	}
+	w := j
+	if j.lo < old.lo {
+		w.lo = math.MinInt64
+	}
+	if j.hi > old.hi {
+		w.hi = math.MaxInt64
+	}
+	return norm(w)
+}
+
+// widenVisits is the number of in-state changes a PC absorbs before joins
+// at it widen to ⊤. Generous enough that interval refinement through
+// LoopN-shaped loops converges exactly first.
+const widenVisits = 64
+
+// maxRoots bounds discovered thread entries (root reach masks are one
+// uint64). Programs beyond it degrade conservatively.
+const maxRoots = 63
+
+// maxPagesPerAccess bounds the page enumeration of one constant access
+// range; wider accesses are treated like ⊤ accesses (wild).
+const maxPagesPerAccess = 4096
+
+// root is one discovered thread entry class.
+type root struct {
+	entry isa.PC
+	// multi marks classes that may have more than one live instance
+	// (several create sites, a create site in a loop, or a creator that
+	// is itself multi-instance). Pages touched only by a multi class are
+	// still touched by at most that class's threads — but by possibly
+	// more than one of them, so they are never single-owner.
+	multi bool
+	// r0 is the join of every spawn argument reaching this entry (main:
+	// Const 0).
+	r0 aval
+}
+
+// entryState is the abstract register file a thread of r starts with: the
+// guest ABI zeroes every register except R0 (the argument), TP (stack
+// base) and SP (initial stack top).
+func entryState(r root) state {
+	var s state
+	for i := range s {
+		s[i] = constV(0)
+	}
+	s[isa.R0] = r.r0
+	s[isa.TP] = rangeV(vTPRel, 0, 0)
+	s[isa.SP] = rangeV(vSPRel, 0, 0)
+	return s
+}
+
+// analyzer is one in-flight pass.
+type analyzer struct {
+	prog  *isa.Program
+	succs [][]isa.PC
+	cyc   []bool // pc is part of a CFG cycle
+	wpt   []bool // pc is a widening point (target of a backward edge)
+
+	roots  []root
+	in     []state  // per-PC joined in-state
+	reach  []uint64 // per-PC root bitmask
+	visits []int
+
+	degraded string
+}
+
+// Analyze runs the whole-program pass. It never fails on a Valid program:
+// shapes it cannot prove degrade to the all-Unknown summary (with
+// Summary.Degraded naming why), not to an error. The error return only
+// reports structurally invalid programs.
+func Analyze(prog *isa.Program) (*Summary, error) {
+	if err := prog.Valid(); err != nil {
+		return nil, fmt.Errorf("staticanalysis: %w", err)
+	}
+	a := &analyzer{prog: prog}
+	a.buildCFG()
+	a.discoverRoots()
+	if a.degraded != "" {
+		return a.degradedSummary(), nil
+	}
+	return a.summarize(), nil
+}
+
+// degradedSummary is the sound "prove nothing" result.
+func (a *analyzer) degradedSummary() *Summary {
+	return &Summary{
+		Class:    make([]Class, len(a.prog.Code)),
+		Roots:    len(a.roots),
+		Degraded: a.degraded,
+	}
+}
+
+// buildCFG computes per-PC successors under Program.Valid's resolution
+// rules — Jmp goes to Target only; Br/BrImm to Target and fall-through;
+// Halt ends the thread; Syscall(SysExit) ends the process; everything
+// else falls through — and marks PCs on CFG cycles (for spawn-site
+// multiplicity).
+func (a *analyzer) buildCFG() {
+	code := a.prog.Code
+	a.succs = make([][]isa.PC, len(code))
+	for pc, in := range code {
+		a.succs[pc] = successors(isa.PC(pc), in, len(code))
+	}
+	a.cyc = cyclic(a.succs)
+	// Widening points: targets of backward edges. Every CFG cycle must
+	// contain at least one (a cycle cannot be strictly PC-increasing), so
+	// widening only there is enough for termination — and leaving every
+	// other PC unwidened is what preserves branch refinement: the BrImm
+	// fall-through's clamped counter must reach the loop body intact.
+	a.wpt = make([]bool, len(code))
+	for pc, ss := range a.succs {
+		for _, w := range ss {
+			if int(w) <= pc {
+				a.wpt[w] = true
+			}
+		}
+	}
+}
+
+// successors is the single-instruction CFG rule.
+func successors(pc isa.PC, in isa.Instr, n int) []isa.PC {
+	switch in.Op {
+	case isa.Halt:
+		return nil
+	case isa.Jmp:
+		return []isa.PC{in.Target}
+	case isa.Br, isa.BrImm:
+		if int(pc)+1 < n {
+			return []isa.PC{in.Target, pc + 1}
+		}
+		return []isa.PC{in.Target}
+	case isa.Syscall:
+		if in.Imm == isa.SysExit {
+			return nil // terminates the process
+		}
+	}
+	if int(pc)+1 < n {
+		return []isa.PC{pc + 1}
+	}
+	return nil
+}
+
+// cyclic marks every PC that lies on a CFG cycle: a member of a
+// strongly connected component of size > 1, or a self-loop.
+func cyclic(succs [][]isa.PC) []bool {
+	comp := components(succs)
+	size := make([]int, len(succs))
+	for _, c := range comp {
+		size[c]++
+	}
+	out := make([]bool, len(succs))
+	for v := range out {
+		if size[comp[v]] > 1 {
+			out[v] = true
+			continue
+		}
+		for _, w := range succs[v] {
+			if int(w) == v {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// components assigns SCC ids (Kosaraju: order by iterative DFS finish
+// time, then label on the transpose).
+func components(succs [][]isa.PC) []int {
+	n := len(succs)
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	type frame struct{ v, si int }
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		work := []frame{{s, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			if f.si < len(succs[f.v]) {
+				w := int(succs[f.v][f.si])
+				f.si++
+				if !visited[w] {
+					visited[w] = true
+					work = append(work, frame{w, 0})
+				}
+				continue
+			}
+			order = append(order, f.v)
+			work = work[:len(work)-1]
+		}
+	}
+	pred := make([][]int, n)
+	for v, ss := range succs {
+		for _, w := range ss {
+			pred[w] = append(pred[w], v)
+		}
+	}
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	c := 0
+	for i := n - 1; i >= 0; i-- {
+		v := order[i]
+		if comp[v] != -1 {
+			continue
+		}
+		stack := []int{v}
+		comp[v] = c
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, w := range pred[x] {
+				if comp[w] == -1 {
+					comp[w] = c
+					stack = append(stack, w)
+				}
+			}
+		}
+		c++
+	}
+	return comp
+}
+
+// discoverRoots iterates: run the fixpoint over the known roots, harvest
+// SysThreadCreate sites for new entries / wider arguments, repeat until
+// the root set and arguments stabilize.
+func (a *analyzer) discoverRoots() {
+	a.roots = []root{{entry: a.prog.Entry, r0: constV(0)}}
+	for round := 0; ; round++ {
+		if round > 2*maxRoots {
+			a.degraded = "root discovery did not converge"
+			return
+		}
+		a.fixpoint()
+		changed, err := a.harvestSpawns()
+		if err != "" {
+			a.degraded = err
+			return
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// fixpoint runs the forward abstract interpretation from every root to
+// convergence, rebuilding in-states and reach masks from scratch (roots
+// or their arguments may have changed since the last run).
+func (a *analyzer) fixpoint() {
+	n := len(a.prog.Code)
+	a.in = make([]state, n)
+	a.reach = make([]uint64, n)
+	a.visits = make([]int, n)
+
+	queued := make([]bool, n)
+	var queue []isa.PC
+	push := func(pc isa.PC) {
+		if !queued[pc] {
+			queued[pc] = true
+			queue = append(queue, pc)
+		}
+	}
+
+	for i, r := range a.roots {
+		st := entryState(r)
+		a.in[r.entry].joinInto(&st, false)
+		a.mergeReach(r.entry, 1<<uint(i))
+		push(r.entry)
+	}
+
+	for len(queue) > 0 {
+		pc := queue[0]
+		queue = queue[1:]
+		queued[pc] = false
+
+		st := a.in[pc] // copy
+		rm := a.reach[pc]
+		in := a.prog.Code[pc]
+		outs := a.transfer(pc, in, &st)
+		for _, o := range outs {
+			tgt := o.pc
+			widen := a.wpt[tgt] && a.visits[tgt] > widenVisits
+			ch := a.in[tgt].joinInto(&o.st, widen)
+			if a.mergeReach(tgt, rm) {
+				ch = true
+			}
+			if ch {
+				a.visits[tgt]++
+				push(tgt)
+			}
+		}
+	}
+}
+
+// mergeReach ors mask into reach[pc], reporting change.
+func (a *analyzer) mergeReach(pc isa.PC, mask uint64) bool {
+	if a.reach[pc]|mask == a.reach[pc] {
+		return false
+	}
+	a.reach[pc] |= mask
+	return true
+}
+
+// edge is one outgoing (target, state) pair of a transfer.
+type edge struct {
+	pc isa.PC
+	st state
+}
+
+// transfer applies one instruction to the abstract state and yields the
+// successor states (with branch refinement on BrImm).
+func (a *analyzer) transfer(pc isa.PC, in isa.Instr, s *state) []edge {
+	n := len(a.prog.Code)
+	fall := func(st state) []edge {
+		if int(pc)+1 < n {
+			return []edge{{pc + 1, st}}
+		}
+		return nil
+	}
+	switch in.Op {
+	case isa.MovImm:
+		s[in.Rd] = constV(in.Imm)
+	case isa.Mov:
+		s[in.Rd] = s[in.Rs]
+	case isa.Add:
+		s[in.Rd] = addV(s[in.Rs], s[in.Rt])
+	case isa.AddImm:
+		s[in.Rd] = addV(s[in.Rs], constV(in.Imm))
+	case isa.Sub:
+		s[in.Rd] = subV(s[in.Rs], s[in.Rt], in.Rs == in.Rt)
+	case isa.Mul:
+		s[in.Rd] = mulV(s[in.Rs], s[in.Rt])
+	case isa.Div:
+		s[in.Rd] = divV(s[in.Rs], s[in.Rt])
+	case isa.And, isa.Or, isa.Xor:
+		s[in.Rd] = bitV(in.Op, s[in.Rs], s[in.Rt], in.Rs == in.Rt)
+	case isa.Shl:
+		s[in.Rd] = shiftV(s[in.Rs], in.Imm, true)
+	case isa.Shr:
+		s[in.Rd] = shiftV(s[in.Rs], in.Imm, false)
+	case isa.Load:
+		s[in.Rd] = topV
+	case isa.LoadAbs:
+		s[in.Rd] = topV
+	case isa.Store, isa.StoreAbs:
+		// access recorded in the classification pass; no register effect
+	case isa.Lock, isa.Unlock, isa.Nop:
+		// no register effect
+	case isa.Syscall:
+		if in.Imm == isa.SysExit {
+			return nil // terminates the process
+		}
+		// Every other syscall returns through R0 and touches nothing else.
+		s[isa.R0] = topV
+	case isa.Jmp:
+		return []edge{{in.Target, *s}}
+	case isa.Br:
+		// Register-register compare: no refinement, both edges.
+		out := []edge{{in.Target, *s}}
+		if int(pc)+1 < n {
+			out = append(out, edge{pc + 1, *s})
+		}
+		return out
+	case isa.BrImm:
+		taken, fallSt, tOK, fOK := refine(*s, in)
+		var out []edge
+		if tOK {
+			out = append(out, edge{in.Target, taken})
+		}
+		if fOK && int(pc)+1 < n {
+			out = append(out, edge{pc + 1, fallSt})
+		}
+		return out
+	case isa.Halt:
+		return nil
+	}
+	return fall(*s)
+}
+
+// refine intersects the BrImm-tested register with the condition on the
+// taken edge and its negation on the fall-through edge. A register that
+// is not a constant interval passes through unrefined. An empty
+// intersection marks the edge unreachable.
+func refine(s state, in isa.Instr) (taken, fall state, tOK, fOK bool) {
+	taken, fall = s, s
+	v := s[in.Rs]
+	if v.k != vConst {
+		return taken, fall, true, true
+	}
+	tv, tok := clamp(v, in.Cond, in.Imm)
+	fv, fok := clamp(v, negate(in.Cond), in.Imm)
+	taken[in.Rs], fall[in.Rs] = tv, fv
+	return taken, fall, tok, fok
+}
+
+// negate returns the complementary condition.
+func negate(c isa.Cond) isa.Cond {
+	switch c {
+	case isa.EQ:
+		return isa.NE
+	case isa.NE:
+		return isa.EQ
+	case isa.LT:
+		return isa.GE
+	case isa.GE:
+		return isa.LT
+	case isa.LE:
+		return isa.GT
+	case isa.GT:
+		return isa.LE
+	}
+	return c
+}
+
+// clamp intersects a constant interval with {x | cond(x, imm)}.
+func clamp(v aval, c isa.Cond, imm int64) (aval, bool) {
+	lo, hi := v.lo, v.hi
+	switch c {
+	case isa.EQ:
+		if imm < lo || imm > hi {
+			return botV, false
+		}
+		return constV(imm), true
+	case isa.NE:
+		// Interval domain cannot carve holes; shrink only at the edges.
+		if lo == hi && lo == imm {
+			return botV, false
+		}
+		if lo == imm {
+			lo++
+		}
+		if hi == imm {
+			hi--
+		}
+	case isa.LT:
+		if imm == math.MinInt64 {
+			return botV, false
+		}
+		if hi > imm-1 {
+			hi = imm - 1
+		}
+	case isa.LE:
+		if hi > imm {
+			hi = imm
+		}
+	case isa.GT:
+		if imm == math.MaxInt64 {
+			return botV, false
+		}
+		if lo < imm+1 {
+			lo = imm + 1
+		}
+	case isa.GE:
+		if lo < imm {
+			lo = imm
+		}
+	}
+	if lo > hi {
+		return botV, false
+	}
+	return norm(aval{k: vConst, lo: lo, hi: hi}), true
+}
+
+// subV: Rd = Rs - Rt.
+func subV(x, y aval, sameReg bool) aval {
+	if sameReg {
+		return constV(0)
+	}
+	switch {
+	case x.k == vBot || y.k == vBot:
+		return botV
+	case x.k == vTop || y.k == vTop:
+		return topV
+	case y.k == vConst:
+		// x - [lo,hi] = x + [-hi,-lo]
+		if y.lo == math.MinInt64 || y.hi == math.MinInt64 {
+			return topV
+		}
+		return addV(x, aval{k: vConst, lo: -y.hi, hi: -y.lo})
+	case x.k == y.k && x.k != vConst:
+		// Same-region difference is a plain number.
+		lo, lok := subOvf(x.lo, y.hi)
+		hi, hik := subOvf(x.hi, y.lo)
+		if !lok || !hik {
+			return topV
+		}
+		return norm(aval{k: vConst, lo: lo, hi: hi})
+	}
+	return topV
+}
+
+func subOvf(a, b int64) (int64, bool) {
+	s := a - b
+	if (b < 0 && s < a) || (b > 0 && s > a) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mulV multiplies constant intervals (non-negative ranges only; anything
+// else widens — the workloads' address arithmetic never goes negative).
+func mulV(x, y aval) aval {
+	if x.k == vBot || y.k == vBot {
+		return botV
+	}
+	if x.k != vConst || y.k != vConst || x.lo < 0 || y.lo < 0 {
+		return topV
+	}
+	lo, lok := mulOvf(x.lo, y.lo)
+	hi, hik := mulOvf(x.hi, y.hi)
+	if !lok || !hik {
+		return topV
+	}
+	return norm(aval{k: vConst, lo: lo, hi: hi})
+}
+
+func mulOvf(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	return p, true
+}
+
+// divV divides a non-negative constant interval by a positive singleton
+// (the guest defines x/0 = 0; other shapes widen).
+func divV(x, y aval) aval {
+	if x.k == vBot || y.k == vBot {
+		return botV
+	}
+	yv, yok := y.singleton()
+	if x.k != vConst || !yok || x.lo < 0 {
+		return topV
+	}
+	if yv == 0 {
+		return constV(0)
+	}
+	if yv < 0 {
+		return topV
+	}
+	return norm(aval{k: vConst, lo: x.lo / yv, hi: x.hi / yv})
+}
+
+// bitV handles And/Or/Xor on singletons, plus the Xor-self zero idiom.
+func bitV(op isa.Op, x, y aval, sameReg bool) aval {
+	if op == isa.Xor && sameReg {
+		return constV(0)
+	}
+	if x.k == vBot || y.k == vBot {
+		return botV
+	}
+	xv, xok := x.singleton()
+	yv, yok := y.singleton()
+	if !xok || !yok {
+		return topV
+	}
+	switch op {
+	case isa.And:
+		return constV(xv & yv)
+	case isa.Or:
+		return constV(xv | yv)
+	case isa.Xor:
+		return constV(xv ^ yv)
+	}
+	return topV
+}
+
+// shiftV shifts non-negative constant intervals by the immediate (the
+// shift amount is masked to 6 bits, as the machine does).
+func shiftV(x aval, imm int64, left bool) aval {
+	if x.k == vBot {
+		return botV
+	}
+	if x.k != vConst || x.lo < 0 {
+		return topV
+	}
+	sh := uint(imm) & 63
+	if left {
+		lo := x.lo << sh
+		hi := x.hi << sh
+		if lo>>sh != x.lo || hi>>sh != x.hi || hi < lo {
+			return topV
+		}
+		return norm(aval{k: vConst, lo: lo, hi: hi})
+	}
+	return norm(aval{k: vConst, lo: int64(uint64(x.lo) >> sh), hi: int64(uint64(x.hi) >> sh)})
+}
+
+// harvestSpawns scans reachable SysThreadCreate sites, returning whether
+// the root set (or any root's incoming argument / multiplicity) changed.
+// A non-singleton entry degrades the pass (second return).
+func (a *analyzer) harvestSpawns() (bool, string) {
+	type site struct {
+		pc   isa.PC
+		arg  aval
+		mask uint64
+	}
+	byEntry := map[isa.PC][]site{}
+	for pc, in := range a.prog.Code {
+		if in.Op != isa.Syscall || in.Imm != isa.SysThreadCreate || a.reach[pc] == 0 {
+			continue
+		}
+		entryV := a.in[pc][isa.R0]
+		ev, ok := entryV.singleton()
+		if !ok || ev < 0 || int(ev) >= len(a.prog.Code) {
+			return false, fmt.Sprintf("pc %d: spawn entry not a known constant", pc)
+		}
+		byEntry[isa.PC(ev)] = append(byEntry[isa.PC(ev)],
+			site{isa.PC(pc), a.in[pc][isa.R1], a.reach[pc]})
+	}
+
+	idx := map[isa.PC]int{}
+	for i, r := range a.roots {
+		idx[r.entry] = i
+	}
+	changed := false
+	entries := make([]isa.PC, 0, len(byEntry))
+	for e := range byEntry {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i] < entries[j] })
+	for _, e := range entries {
+		sites := byEntry[e]
+		multi := len(sites) > 1
+		arg := botV
+		for _, st := range sites {
+			arg = join(arg, st.arg)
+			// Conservative multiplicity: the spawned class may have more
+			// than one live instance when several sites target it, when a
+			// site sits on a CFG cycle (spawn loop), or when a site can be
+			// executed by anything other than the single main instance
+			// (spawned/multi creators run the site once per instance).
+			if a.cyc[st.pc] || st.mask&^uint64(1) != 0 ||
+				(st.mask&1 != 0 && a.roots[0].multi) {
+				multi = true
+			}
+		}
+		i, known := idx[e]
+		if !known {
+			if len(a.roots) >= maxRoots {
+				return false, "too many thread entry points"
+			}
+			a.roots = append(a.roots, root{entry: e, multi: multi, r0: arg})
+			idx[e] = len(a.roots) - 1
+			changed = true
+			continue
+		}
+		r := &a.roots[i]
+		if multi && !r.multi {
+			r.multi = true
+			changed = true
+		}
+		if nr := join(r.r0, arg); nr != r.r0 {
+			r.r0 = nr
+			changed = true
+		}
+	}
+	return changed, ""
+}
+
+// summarize runs the final classification pass over the converged
+// fixpoint.
+func (a *analyzer) summarize() *Summary {
+	sum := &Summary{
+		Class: make([]Class, len(a.prog.Code)),
+		Roots: len(a.roots),
+	}
+
+	stackRegionLo := isa.StackBase
+	stackRegionHi := isa.StackBase + uint64(maxRoots+1)*isa.StackStride
+
+	// Pass 1: collect accesses, accessor sets, and the global stack-
+	// cleanliness / wild-root facts.
+	type acc struct {
+		pc    isa.PC
+		val   aval
+		size  uint8
+		reach uint64
+	}
+	var accs []acc
+	pageAcc := map[uint64]uint64{} // vpn -> accessor root mask
+	var wildMask uint64            // roots with a ⊤ / unbounded access
+	stackClean := true
+	stackMain := map[int]bool{}
+	stackSpawn := map[int]bool{}
+
+	for pc, in := range a.prog.Code {
+		if !in.Op.IsMemRef() || a.reach[pc] == 0 {
+			continue
+		}
+		var av aval
+		if in.Op.IsDirect() {
+			av = constV(in.Imm)
+		} else {
+			av = addV(a.in[pc][in.Rs], constV(in.Imm))
+		}
+		accs = append(accs, acc{isa.PC(pc), av, in.Size, a.reach[pc]})
+
+		switch av.k {
+		case vTPRel, vSPRel:
+			base := int64(0)
+			if av.k == vSPRel {
+				base = int64(isa.StackSize) - 8
+			}
+			lo := base + av.lo
+			hi := base + av.hi + int64(in.Size) - 1
+			if lo < 0 || hi >= int64(isa.StackSize) {
+				// The offset can escape the thread's own stack VMA:
+				// treat like a wild access.
+				wildMask |= a.reach[pc]
+				stackClean = false
+				continue
+			}
+			for p := lo >> vm.PageShift; p <= hi>>vm.PageShift; p++ {
+				if a.reach[pc]&1 != 0 {
+					stackMain[int(p)] = true
+				}
+				if a.reach[pc]&^uint64(1) != 0 {
+					stackSpawn[int(p)] = true
+				}
+			}
+		case vConst:
+			if av.lo < 0 {
+				wildMask |= a.reach[pc]
+				stackClean = false
+				continue
+			}
+			lo := uint64(av.lo)
+			hi := uint64(av.hi) + uint64(in.Size) - 1
+			if hi < lo || (hi-lo)>>vm.PageShift >= maxPagesPerAccess {
+				wildMask |= a.reach[pc]
+				stackClean = false
+				continue
+			}
+			if hi >= stackRegionLo && lo < stackRegionHi {
+				// A constant access into the stack region aliases some
+				// thread's stack by absolute address.
+				stackClean = false
+			}
+			for vpn := lo >> vm.PageShift; vpn <= hi>>vm.PageShift; vpn++ {
+				pageAcc[vpn] |= a.reach[pc]
+			}
+		default: // vTop (vBot cannot reach here with reach != 0)
+			wildMask |= a.reach[pc]
+			stackClean = false
+		}
+	}
+	if wildMask != 0 {
+		stackClean = false
+	}
+	sum.StackClean = stackClean
+
+	// threadsOf maps a root mask to "how many distinct threads could this
+	// be": 0 bits → 0; one single-instance bit → 1; anything else → 2+.
+	multiThreaded := func(mask uint64) bool {
+		bits := 0
+		for i, r := range a.roots {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			if r.multi {
+				return true
+			}
+			bits++
+			if bits > 1 {
+				return true
+			}
+		}
+		return false
+	}
+
+	eff := func(vpn uint64) uint64 { return pageAcc[vpn] | wildMask }
+
+	// Pass 2: per-PC classification.
+	mainBit := uint64(1)
+	for _, ac := range accs {
+		switch ac.val.k {
+		case vTPRel, vSPRel:
+			base := int64(0)
+			if ac.val.k == vSPRel {
+				base = int64(isa.StackSize) - 8
+			}
+			lo := base + ac.val.lo
+			hi := base + ac.val.hi + int64(ac.size) - 1
+			if stackClean && lo >= 0 && hi < int64(isa.StackSize) {
+				sum.Class[ac.pc] = ProvenPrivate
+			}
+		case vConst:
+			if ac.val.lo < 0 {
+				continue
+			}
+			lo := uint64(ac.val.lo)
+			hi := uint64(ac.val.hi) + uint64(ac.size) - 1
+			if hi < lo || (hi-lo)>>vm.PageShift >= maxPagesPerAccess {
+				continue
+			}
+			private := ac.reach != 0 && !multiThreaded(ac.reach) && singleBit(ac.reach)
+			shared := true
+			for vpn := lo >> vm.PageShift; vpn <= hi>>vm.PageShift; vpn++ {
+				e := eff(vpn)
+				if e != ac.reach {
+					private = false
+				}
+				if !multiThreaded(e) {
+					shared = false
+				}
+			}
+			if private {
+				sum.Class[ac.pc] = ProvenPrivate
+			} else if shared {
+				sum.Class[ac.pc] = ProvenShared
+			}
+		}
+	}
+	for _, c := range sum.Class {
+		switch c {
+		case ProvenPrivate:
+			sum.PrunedPCs++
+		case ProvenShared:
+			sum.SharedPCs++
+		}
+	}
+
+	// Pre-seedable pages: data-segment pages whose every statically
+	// possible accessor is the (single-instance) main thread.
+	if !a.roots[0].multi && wildMask&^mainBit == 0 {
+		dataLo := isa.DataBase >> vm.PageShift
+		dataHi := (isa.DataBase + uint64(len(a.prog.Data)) + vm.PageSize - 1) >> vm.PageShift
+		for vpn, mask := range pageAcc {
+			if vpn >= dataLo && vpn < dataHi && mask|wildMask == mainBit {
+				sum.MainPages = append(sum.MainPages, vpn)
+			}
+		}
+		sort.Slice(sum.MainPages, func(i, j int) bool { return sum.MainPages[i] < sum.MainPages[j] })
+	}
+
+	// Stack pre-seed offsets only make sense when the stack is clean.
+	if stackClean {
+		sum.StackOffsetsMain = sortedKeys(stackMain)
+		sum.StackOffsetsSpawn = sortedKeys(stackSpawn)
+	}
+	return sum
+}
+
+// singleBit reports a mask with exactly one set bit.
+func singleBit(m uint64) bool { return m != 0 && m&(m-1) == 0 }
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
